@@ -1,0 +1,185 @@
+"""Figure 6: compute time, merge time, and output size vs processes,
+data size, and data complexity (paper §VI-B).
+
+The paper's 3x3 log-log panel grid: for three complexities (features per
+side), plot compute time, merge time, and output size against process
+count, one line per data size.  Scaled down from the paper's 256..1024
+points per side / up-to-16k processes to laptop size, the sweep
+regenerates the same series and asserts the paper's four conclusions:
+
+1. compute time scales linearly with process count and depends on data
+   size, not complexity (weak scaling efficiency ~1: it "only depends on
+   the size of the blocks"),
+2. merge time is unaffected by data size but grows with complexity,
+3. output size grows slowly with process count (boundary artifacts of a
+   constant number of merge rounds) and strongly with complexity,
+4. at low complexity the output is dominated by arc geometry, which
+   grows with the side length of the dataset.
+
+Figure 5 (renderings of the complexity family) is exercised implicitly:
+the same generator at three complexities, with measured feature counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import sinusoidal_field
+from bench_util import emit_table, run_pipeline
+
+COMPLEXITIES = (2, 4, 8)  # features per side (paper: 2..32)
+SIZES = (17, 25, 33)  # points per side (paper: 256..1024)
+PROCS = (1, 8, 64)  # processes = blocks (paper: 16..16384)
+THRESHOLD = 0.05
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """Run the full parameter sweep once; benches share the results."""
+    results = {}
+    for k in COMPLEXITIES:
+        for n in SIZES:
+            field = sinusoidal_field(n, k).astype(np.float64)
+            for p in PROCS:
+                if p > 1 and (n - 1) < 2 * round(p ** (1 / 3)):
+                    continue
+                # the paper runs a *constant* number of merge rounds for
+                # this study ("two rounds of radix-8"), so more processes
+                # leave more output blocks with unresolved boundary
+                # artifacts; we use one radix-8 round at laptop scale
+                res = run_pipeline(
+                    field,
+                    num_blocks=p,
+                    persistence_threshold=THRESHOLD,
+                    merge_radices=[8] if p > 1 else "none",
+                )
+                results[(k, n, p)] = res
+    return results
+
+
+def bench_fig6_panels(sweep, benchmark):
+    lines = [
+        f"{'complexity':>10} {'size':>5} {'procs':>6} "
+        f"{'compute(s)':>11} {'merge(s)':>10} {'output(B)':>10} "
+        f"{'maxima':>7}"
+    ]
+    for (k, n, p), res in sorted(sweep.items()):
+        s = res.stats
+        maxima = res.combined_node_counts()[3]
+        lines.append(
+            f"{k:>10} {n:>5} {p:>6} {s.compute_time:>11.4f} "
+            f"{s.merge_time:>10.4f} {s.output_bytes:>10} {maxima:>7}"
+        )
+    emit_table("fig6_scaling", lines)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def bench_fig6_compute_weak_scaling(sweep, benchmark):
+    """Conclusion 1: compute time ~ cells/proc, independent of complexity."""
+
+    def check():
+        for k in COMPLEXITIES:
+            for n in SIZES:
+                t1 = sweep[(k, n, 1)].stats.compute_time
+                t64 = sweep[(k, n, 64)].stats.compute_time
+                # strong scaling of the compute stage is near-linear
+                assert t1 / t64 > 16, (k, n, t1, t64)
+        # complexity leaves compute time within a small factor in the
+        # paper's regime (features << cells); our scaled-down volumes
+        # approach that regime from above, so the complexity effect must
+        # shrink as the volume grows and be small at the largest size
+        spreads = []
+        for n in SIZES:
+            times = [sweep[(k, n, 1)].stats.compute_time
+                     for k in COMPLEXITIES]
+            spreads.append(max(times) / min(times))
+        assert all(b < a for a, b in zip(spreads, spreads[1:])), spreads
+        assert spreads[-1] < 1.6, spreads
+        # data size dominates compute time
+        for k in COMPLEXITIES:
+            assert (
+                sweep[(k, 33, 1)].stats.compute_time
+                > 2 * sweep[(k, 17, 1)].stats.compute_time
+            )
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def bench_fig6_merge_complexity(sweep, benchmark):
+    """Conclusion 2: merge time tracks complexity, not data size."""
+
+    def check():
+        for p in (8, 64):
+            # complexity raises merge time at fixed size and procs
+            for n in SIZES:
+                lo = sweep[(COMPLEXITIES[0], n, p)].stats.merge_time
+                hi = sweep[(COMPLEXITIES[-1], n, p)].stats.merge_time
+                assert hi > lo, (n, p, lo, hi)
+        # size changes merge time far less than complexity does; judged
+        # at 8 processes, where blocks are large enough that boundary
+        # surface does not dominate the complexes (at 64 processes the
+        # smallest volume has 3^3-vertex blocks, outside the paper's
+        # feature-dominated regime)
+        p = 8
+        for k in COMPLEXITIES:
+            sizes = [sweep[(k, n, p)].stats.merge_time for n in SIZES]
+            size_ratio = max(sizes) / min(sizes)
+            compl = [
+                sweep[(kk, SIZES[0], p)].stats.merge_time
+                for kk in COMPLEXITIES
+            ]
+            compl_ratio = max(compl) / min(compl)
+            assert compl_ratio > size_ratio * 0.9, (
+                p, k, size_ratio, compl_ratio,
+            )
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def bench_fig6_output_size(sweep, benchmark):
+    """Conclusions 3+4: output grows with procs and complexity; at low
+    complexity geometry (∝ side length) dominates."""
+
+    def check():
+        # at a constant number of merge rounds, more processes leave
+        # more output blocks whose unresolved boundary artifacts add
+        # nodes to the output (the paper's within-panel slope); node
+        # counts are the robust measure — byte sizes can be swamped by
+        # parallel-arc geometry on the degenerate sinusoid
+        for k in COMPLEXITIES:
+            for n in SIZES:
+                assert sweep[(k, n, 64)].num_output_blocks == 8
+                assert sweep[(k, n, 8)].num_output_blocks == 1
+                if (n - 1) / k < 4:
+                    # fewer than ~4 samples per feature: below the
+                    # resolution the paper's study operates at, where
+                    # blocking noise swamps the artifact slope
+                    continue
+                assert sum(
+                    sweep[(k, n, 64)].combined_node_counts()
+                ) > sum(sweep[(k, n, 8)].combined_node_counts()), (k, n)
+        # and for the tie-free low-complexity family, bytes too
+        for n in SIZES:
+            assert (
+                sweep[(2, n, 64)].stats.output_bytes
+                > sweep[(2, n, 8)].stats.output_bytes
+            ), n
+        # complexity dominates output size
+        for n in SIZES:
+            assert (
+                sweep[(8, n, 8)].stats.output_bytes
+                > sweep[(2, n, 8)].stats.output_bytes
+            )
+        # at low complexity, output grows with side length (geometry term)
+        for p in PROCS:
+            assert (
+                sweep[(2, 33, p)].stats.output_bytes
+                > sweep[(2, 17, p)].stats.output_bytes
+            )
+        # feature count matches the generator's intent: k^3/2 maxima
+        for k in COMPLEXITIES:
+            maxima = sweep[(k, 33, 1)].combined_node_counts()[3]
+            assert k**3 / 6 <= maxima <= k**3, (k, maxima)
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

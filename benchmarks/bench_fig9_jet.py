@@ -1,0 +1,84 @@
+"""Figure 9: strong scaling on the Jet mixture fraction dataset (§VI-D1).
+
+The paper computes a full merge of the JET combustion volume
+(768x896x512) from 32 to 8192 processes and plots total time plus the
+read / compute / merge / write components: "At small numbers of
+processes, time is dominated by computing, and at higher numbers of
+processes by merging"; end-to-end strong-scaling efficiency is 35% at
+2048 and 13% at 8192 processes — deliberately a worst case ("the object
+of this test is to evaluate the worst-case performance").
+
+This reproduction runs the JET proxy (see DESIGN.md) at 1/16 scale per
+axis over a 16x process range with the same full-merge radix-8-preferred
+schedule, reports the same series in virtual Blue Gene/P seconds, and
+asserts the shape conclusions: compute dominates at low process counts,
+merge at high ones, compute scales near-linearly, merge time grows, and
+end-to-end efficiency decays well below compute-stage efficiency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import jet_mixture_fraction_proxy
+from bench_util import emit_table, run_pipeline, strong_scaling_efficiency
+
+DIMS = (48, 56, 32)  # paper: 768 x 896 x 512
+PROCS = (4, 8, 16, 32, 64)  # paper: 32 .. 8192
+THRESHOLD = 0.02
+
+
+@pytest.fixture(scope="module")
+def scaling_runs():
+    field = jet_mixture_fraction_proxy(DIMS)
+    runs = []
+    for p in PROCS:
+        res = run_pipeline(
+            field,
+            num_blocks=p,
+            persistence_threshold=THRESHOLD,
+            merge_radices="full" if p > 1 else "none",
+        )
+        assert res.num_output_blocks == 1
+        runs.append((p, res))
+    return runs
+
+
+def bench_fig9_jet_strong_scaling(scaling_runs, benchmark):
+    lines = [
+        f"{'procs':>6} {'read':>8} {'compute':>9} {'merge':>8} "
+        f"{'write':>8} {'total':>9} {'efficiency':>11} {'schedule':>14}"
+    ]
+    totals, computes, merges = [], [], []
+    for p, res in scaling_runs:
+        s = res.stats.stage_breakdown()
+        totals.append(s["total"])
+        computes.append(s["compute"])
+        merges.append(s["merge"])
+        eff = strong_scaling_efficiency(
+            [scaling_runs[0][1].stats.total_time, s["total"]],
+            [PROCS[0], p],
+        )[1]
+        lines.append(
+            f"{p:>6} {s['read']:>8.3f} {s['compute']:>9.3f} "
+            f"{s['merge']:>8.3f} {s['write']:>8.3f} {s['total']:>9.3f} "
+            f"{eff:>11.2f} {res.schedule.describe():>14}"
+        )
+    emit_table("fig9_jet_strong_scaling", lines)
+
+    def check():
+        # compute stage scales near-linearly (weak link: none)
+        ratio = computes[0] / computes[-1]
+        assert ratio > (PROCS[-1] / PROCS[0]) * 0.5, computes
+        # compute dominates at low process counts
+        assert computes[0] > merges[0], (computes[0], merges[0])
+        # merge dominates (or rivals) compute at the highest count
+        assert merges[-1] > computes[-1], (merges[-1], computes[-1])
+        # merge time grows with process count under a full merge
+        assert merges[-1] > merges[0], merges
+        # total time still decreases from the base, but efficiency < 1
+        assert totals[-1] < totals[0]
+        effs = strong_scaling_efficiency(totals, list(PROCS))
+        assert effs[-1] < 0.7, effs  # flat scaling at high counts
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

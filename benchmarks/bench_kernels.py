@@ -1,0 +1,106 @@
+"""Microbenchmarks of the pipeline's computational kernels.
+
+Not a paper table — these time the stages the cost model prices
+(gradient sweep, V-path tracing, simplification, gluing, serialization)
+so that regressions in the hot paths are visible, and so the calibrated
+cells/second constants in :mod:`repro.machine.bgp` can be compared with
+what this Python implementation actually achieves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.glue import glue_into
+from repro.core.merge import pack_complex, unpack_complex
+from repro.mesh.cubical import CubicalComplex
+from repro.morse.gradient import compute_discrete_gradient
+from repro.morse.simplify import simplify_ms_complex
+from repro.morse.tracing import extract_ms_complex
+from repro.data.synthetic import gaussian_bumps_field
+from repro.parallel.decomposition import decompose
+
+# mild noise: heavy noise on overlapping bumps drives the (documented)
+# quadratic hub behavior of exact persistence simplification, which is a
+# stress case, not a representative kernel timing
+FIELD = gaussian_bumps_field((24, 24, 24), 8, seed=1, noise=0.005)
+
+
+@pytest.fixture(scope="module")
+def complex_():
+    return CubicalComplex(FIELD)
+
+
+@pytest.fixture(scope="module")
+def field_(complex_):
+    return compute_discrete_gradient(complex_)
+
+
+@pytest.fixture(scope="module")
+def msc_(field_):
+    return extract_ms_complex(field_)
+
+
+def bench_kernel_complex_build(benchmark):
+    cx = benchmark(lambda: CubicalComplex(FIELD))
+    assert cx.euler_characteristic() == 1
+
+
+def bench_kernel_gradient_sweep(complex_, benchmark):
+    g = benchmark(lambda: compute_discrete_gradient(complex_))
+    assert g.morse_euler_characteristic() == 1
+
+
+def bench_kernel_vpath_tracing(field_, benchmark):
+    msc = benchmark(lambda: extract_ms_complex(field_))
+    assert msc.num_alive_nodes() > 0
+
+
+def bench_kernel_simplification(field_, benchmark):
+    def run():
+        msc = extract_ms_complex(field_)
+        simplify_ms_complex(
+            msc, 0.1, respect_boundary=False, max_new_arcs=5000
+        )
+        return msc
+
+    msc = benchmark(run)
+    assert msc.num_alive_nodes() >= 1
+
+
+def bench_kernel_pack_unpack(msc_, benchmark):
+    import copy
+
+    compacted = copy.deepcopy(msc_)
+    compacted.compact()
+
+    def run():
+        return unpack_complex(pack_complex(compacted))
+
+    back = benchmark(run)
+    assert back.num_alive_nodes() == compacted.num_alive_nodes()
+
+
+def bench_kernel_glue(benchmark):
+    decomp = decompose(FIELD.shape, 2)
+    parts = []
+    for b in range(2):
+        box = decomp.block_box(decomp.block_coords(b))
+        cx = CubicalComplex(
+            FIELD[box.slices()],
+            refined_origin=box.refined_origin,
+            global_refined_dims=decomp.global_refined_dims,
+            cut_planes=decomp.cut_planes,
+        )
+        msc = extract_ms_complex(compute_discrete_gradient(cx))
+        msc.compact()
+        parts.append(msc)
+
+    def run():
+        root = unpack_complex(pack_complex(parts[0]))
+        other = unpack_complex(pack_complex(parts[1]))
+        return glue_into(root, other, root.address_index())
+
+    stats = benchmark(run)
+    assert stats.shared_nodes > 0

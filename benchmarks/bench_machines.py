@@ -1,0 +1,82 @@
+"""Predictive machine comparison: Blue Gene/P vs Cray XT5 (§VII-B).
+
+The paper ported the implementation to the Jaguar XT5 but published no
+numbers.  With the work counts held fixed (the computation is identical)
+and only the machine constants swapped, the cost model predicts how the
+Fig. 9 picture changes: Jaguar's ~10x faster cores shrink the whole
+compute+merge side, but collective I/O shrinks far less — so on the
+faster machine the non-compute share of the end-to-end time is larger at
+every process count and the run becomes I/O-bound at lower process
+counts.  (The paper's own §VII-A conclusion — "the cost of merging and
+of output I/O were the primary limitations" — bites harder on Jaguar.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import jet_mixture_fraction_proxy
+from repro.machine.xt5 import jaguar_xt5
+from bench_util import emit_table, run_pipeline
+
+DIMS = (48, 56, 32)
+PROCS = (4, 16, 64)
+THRESHOLD = 0.02
+
+
+@pytest.fixture(scope="module")
+def machine_runs():
+    field = jet_mixture_fraction_proxy(DIMS)
+    out = {}
+    for name, machine in (("bgp", None), ("xt5", jaguar_xt5())):
+        rows = []
+        for p in PROCS:
+            kwargs = dict(
+                num_blocks=p,
+                persistence_threshold=THRESHOLD,
+                merge_radices="full",
+            )
+            if machine is not None:
+                kwargs["machine"] = machine
+            rows.append((p, run_pipeline(field, **kwargs)))
+        out[name] = rows
+    return out
+
+
+def bench_machine_comparison(machine_runs, benchmark):
+    lines = [
+        f"{'machine':>8} {'procs':>6} {'compute':>9} {'merge':>8} "
+        f"{'total':>9} {'compute+merge share':>20}"
+    ]
+    share = {}
+    for name, rows in machine_runs.items():
+        share[name] = []
+        for p, res in rows:
+            s = res.stats.stage_breakdown()
+            frac = (s["compute"] + s["merge"]) / s["total"]
+            share[name].append(frac)
+            lines.append(
+                f"{name:>8} {p:>6} {s['compute']:>9.3f} "
+                f"{s['merge']:>8.3f} {s['total']:>9.3f} {frac:>20.3f}"
+            )
+    emit_table("machine_comparison", lines)
+
+    def check():
+        # identical topology was computed on both machines
+        for (pb, rb), (px, rx) in zip(
+            machine_runs["bgp"], machine_runs["xt5"]
+        ):
+            assert pb == px
+            assert (
+                rb.merged_complexes[0].node_counts_by_index()
+                == rx.merged_complexes[0].node_counts_by_index()
+            )
+            # faster cores: xt5 computes much faster in absolute terms
+            assert rx.stats.compute_time < rb.stats.compute_time / 5
+            assert rx.stats.total_time < rb.stats.total_time
+        # the faster machine is I/O-bound earlier: its compute+merge
+        # share of the total is smaller at every process count
+        for fb, fx in zip(share["bgp"], share["xt5"]):
+            assert fx < fb, (share["bgp"], share["xt5"])
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""§V-B: the MS complex size model ``k*c + k*n^(1/3)``.
+
+"The cost of storing the geometric embedding of the arcs was directly
+proportional to the length of one side of the dataset. ... we can
+estimate the storage requirements of the MS complex with
+``k*c + k*n^(1/3)``, where k is the expected number of features and c is
+a constant that represents the cost of storing one node or one arc."
+
+This bench measures output sizes of the sinusoidal family and fits the
+two dependencies: geometry bytes grow linearly with the side length
+(``n^(1/3)``) at fixed feature count, and total size grows with the
+feature count at fixed side length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import compute_morse_smale_complex
+from repro.data.synthetic import sinusoidal_field
+from repro.morse.msc import GEOM_ADDRESS_BYTES
+from bench_util import emit_table
+
+SIDES = (17, 25, 33, 49)
+COMPLEXITIES = (2, 4, 8)
+FIXED_K = 2
+FIXED_SIDE = 33
+
+
+@pytest.fixture(scope="module")
+def size_measurements():
+    by_side = {}
+    for n in SIDES:
+        f = sinusoidal_field(n, FIXED_K).astype(np.float64)
+        msc = compute_morse_smale_complex(f, persistence_threshold=0.05)
+        by_side[n] = msc
+    by_k = {}
+    for k in COMPLEXITIES:
+        f = sinusoidal_field(FIXED_SIDE, k).astype(np.float64)
+        msc = compute_morse_smale_complex(f, persistence_threshold=0.05)
+        by_k[k] = msc
+    return by_side, by_k
+
+
+def bench_size_model(size_measurements, benchmark):
+    by_side, by_k = size_measurements
+    lines = [
+        "geometry vs side length (fixed complexity "
+        f"k={FIXED_K}):",
+        f"{'side':>6} {'nodes':>6} {'arcs':>6} {'geom cells':>11} "
+        f"{'total bytes':>12}",
+    ]
+    geom_bytes = []
+    for n in SIDES:
+        msc = by_side[n]
+        g = msc.total_geometry_length() * GEOM_ADDRESS_BYTES
+        geom_bytes.append(g)
+        lines.append(
+            f"{n:>6} {msc.num_alive_nodes():>6} {msc.num_alive_arcs():>6} "
+            f"{msc.total_geometry_length():>11} {msc.nbytes():>12}"
+        )
+    lines.append("")
+    lines.append(f"size vs complexity (fixed side {FIXED_SIDE}):")
+    lines.append(
+        f"{'k':>4} {'nodes':>6} {'arcs':>6} {'geom cells':>11} "
+        f"{'total bytes':>12}"
+    )
+    for k in COMPLEXITIES:
+        msc = by_k[k]
+        lines.append(
+            f"{k:>4} {msc.num_alive_nodes():>6} {msc.num_alive_arcs():>6} "
+            f"{msc.total_geometry_length():>11} {msc.nbytes():>12}"
+        )
+    # fit geometry ~ side^alpha; the paper's model says alpha ~ 1
+    alpha = np.polyfit(np.log(SIDES), np.log(geom_bytes), 1)[0]
+    lines.append("")
+    lines.append(f"fitted exponent: geometry_bytes ~ side^{alpha:.2f} "
+                 "(paper model: ~1, i.e. n^(1/3))")
+    emit_table("size_model", lines)
+
+    def check():
+        # geometry term ~ linear in side length (allow discretization slop)
+        assert 0.6 < alpha < 1.6, alpha
+        # node/arc counts roughly constant across sides at fixed k
+        node_counts = [by_side[n].num_alive_nodes() for n in SIDES]
+        assert max(node_counts) <= 3 * min(node_counts), node_counts
+        # size grows with feature count at fixed side
+        sizes = [by_k[k].nbytes() for k in COMPLEXITIES]
+        assert sizes[0] < sizes[1] < sizes[2], sizes
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

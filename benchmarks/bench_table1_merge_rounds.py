@@ -1,0 +1,72 @@
+"""Table I: cost of merging 2048 blocks (paper §VI-C1).
+
+The paper merges 2048 input blocks across 2048 processes with the full
+schedule [4, 8, 8, 8], then repeats with only the first 1, 2, 3 rounds.
+Reading the final-round column top to bottom gives each round's
+individual cost, showing that "as merging progresses, it becomes more
+expensive, because MS complex blocks grow larger, take longer to
+communicate, and gravitate toward fewer processes".
+
+This reproduction runs the same schedule prefixes on a real 2048-block
+decomposition (tiny blocks) and reports virtual merge seconds.  The
+asserted shape: per-round cost increases monotonically and the last
+round dominates the full merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import sinusoidal_field
+from bench_util import emit_table, run_pipeline
+
+NUM_BLOCKS = 2048
+SPLITS = (16, 16, 8)
+DIMS = (33, 33, 17)
+SCHEDULE_PREFIXES = ([4], [4, 8], [4, 8, 8], [4, 8, 8, 8])
+
+
+@pytest.fixture(scope="module")
+def merge_runs():
+    field = sinusoidal_field(0, 4, dims=DIMS).astype(np.float64)
+    runs = []
+    for radices in SCHEDULE_PREFIXES:
+        res = run_pipeline(
+            field,
+            num_blocks=NUM_BLOCKS,
+            splits=SPLITS,
+            persistence_threshold=0.05,
+            merge_radices=radices,
+        )
+        runs.append((radices, res))
+    return runs
+
+
+def bench_table1_cost_of_each_round(merge_runs, benchmark):
+    lines = [
+        f"{'Rounds':>6} {'Radices':>10} {'Total Merge Time (s)':>21} "
+        f"{'Final Round Merge Time (s)':>27}"
+    ]
+    totals, finals = [], []
+    for radices, res in merge_runs:
+        rounds = res.stats.merge_round_times()
+        total = sum(rounds)
+        final = rounds[-1]
+        totals.append(total)
+        finals.append(final)
+        lines.append(
+            f"{len(radices):>6} {' '.join(map(str, radices)):>10} "
+            f"{total:>21.4f} {final:>27.4f}"
+        )
+    emit_table("table1_merge_rounds", lines)
+
+    def check():
+        # each added round costs more than the one before it
+        assert all(b > a for a, b in zip(finals, finals[1:])), finals
+        # totals accumulate monotonically
+        assert all(b > a for a, b in zip(totals, totals[1:])), totals
+        # the paper's Table I: the final (4th) round dominates the total
+        assert finals[-1] > 0.5 * totals[-1], (finals[-1], totals[-1])
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

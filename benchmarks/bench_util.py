@@ -1,0 +1,51 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper's
+evaluation section: it runs the real pipeline over the paper's parameter
+sweep (at laptop scale), prints the same rows/series the paper reports
+(virtual Blue Gene/P seconds from the machine model, exact structure
+sizes from the real computation), saves the table under
+``benchmarks/results/``, and asserts the *shape* conclusions the paper
+draws (who wins, monotonicities, crossovers).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ParallelMSComplexPipeline
+from repro.core.result import PipelineResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def run_pipeline(field, **config_kwargs) -> PipelineResult:
+    """Run one pipeline configuration on an in-memory field."""
+    cfg = PipelineConfig(**config_kwargs)
+    return ParallelMSComplexPipeline(cfg).run(field)
+
+
+def strong_scaling_efficiency(
+    times: list[float], procs: list[int]
+) -> list[float]:
+    """Efficiency relative to the smallest process count (paper §VI-D1).
+
+    "Efficiency is computed as the ratio of the factor decrease in time
+    divided by the factor increase in number of processes."
+    """
+    base_t, base_p = times[0], procs[0]
+    return [
+        (base_t / t) / (p / base_p) if t > 0 else float("inf")
+        for t, p in zip(times, procs)
+    ]
+
+
+def emit_table(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    # bypass pytest capture so the table is visible in bench output
+    print(f"\n===== {name} =====\n{text}\n", file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,69 @@
+"""Multi-scale interactive exploration (paper Fig. 1, right side).
+
+"A scientist may interactively visualize statistics about the
+topological structure of the data or select different threshold values
+to define features.  Such exploration provides immediate feedback ...
+This allows scientists to conduct parameter studies without the need to
+rerun analyses on the original data."
+
+The enabling structure is the cancellation hierarchy (§III-C): one
+computation yields a multi-resolution family of complexes, and every
+persistence level is a cheap query.  This example computes the hierarchy
+of a Rayleigh-Taylor proxy once, then "moves the slider" across
+persistence levels, reporting the feature counts and the 1-skeleton
+statistics at each scale — no recomputation.
+
+Usage::
+
+    python examples/multiscale_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import MSComplexHierarchy
+from repro.data import rayleigh_taylor_proxy
+from repro.mesh.cubical import CubicalComplex
+from repro.morse.gradient import compute_discrete_gradient
+from repro.morse.simplify import simplify_ms_complex
+from repro.morse.tracing import extract_ms_complex
+
+
+def main() -> None:
+    field = rayleigh_taylor_proxy((28, 28, 28), num_plumes=14)
+    print(f"Rayleigh-Taylor proxy {field.shape}, "
+          f"density range [{field.min():.2f}, {field.max():.2f}]")
+
+    # one full computation, fully simplified, hierarchy captured
+    cx = CubicalComplex(field)
+    grad = compute_discrete_gradient(cx)
+    msc = extract_ms_complex(grad)
+    simplify_ms_complex(msc, np.inf, respect_boundary=False)
+    hierarchy = MSComplexHierarchy.from_complex(msc)
+    print(f"hierarchy: {hierarchy.num_levels} cancellation levels, "
+          f"persistence range "
+          f"[0, {max(hierarchy.persistences):.3f}]\n")
+
+    # the parameter study: walk the persistence slider
+    print(f"{'persistence':>12} {'min':>5} {'1sad':>5} {'2sad':>5} "
+          f"{'max':>5} {'arcs':>6}")
+    for frac in (0.0, 0.001, 0.01, 0.05, 0.2, 0.5, 1.0):
+        p = frac * max(hierarchy.persistences)
+        view = hierarchy.view_at_persistence(p)
+        c = view.node_counts_by_index()
+        print(f"{p:>12.4f} {c[0]:>5} {c[1]:>5} {c[2]:>5} {c[3]:>5} "
+              f"{len(view.arcs):>6}")
+
+    xs, ys = hierarchy.node_count_curve()
+    # find the persistence plateau: the scale band where the feature
+    # count is stable (the "right" threshold for this dataset)
+    print(
+        "\nfeature-count curve has "
+        f"{len(set(ys))} distinct levels across {len(xs)} thresholds;"
+        "\neach row above was a pure query - the data was processed once."
+    )
+
+
+if __name__ == "__main__":
+    main()

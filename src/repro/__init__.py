@@ -1,0 +1,57 @@
+"""repro — parallel computation of Morse-Smale complexes.
+
+A faithful, pure-Python reproduction of
+
+    A. Gyulassy, V. Pascucci, T. Peterka, R. Ross,
+    "The Parallel Computation of Morse-Smale Complexes", IPDPS 2012.
+
+The package implements the paper's two-stage data-parallel algorithm —
+per-block discrete-gradient / MS-complex computation followed by radix-k
+merge rounds — together with every substrate it depends on: a cubical
+cell complex over structured grids, discrete Morse theory (gradient
+construction, V-path tracing, persistence simplification), a virtual MPI
+runtime, parallel block I/O, a Blue Gene/P machine model, and dataset
+generators for the paper's synthetic and scientific workloads.
+
+Quickstart::
+
+    import numpy as np
+    from repro import compute_morse_smale_complex
+    from repro.data import sinusoidal_field
+
+    field = sinusoidal_field(points_per_side=32, features_per_side=4)
+    msc = compute_morse_smale_complex(field)
+    print(msc.summary())
+
+Parallel pipeline::
+
+    from repro import ParallelMSComplexPipeline, PipelineConfig
+
+    cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.05)
+    result = ParallelMSComplexPipeline(cfg).run(field)
+    print(result.merged_complexes[0].summary())
+"""
+
+from repro.core.config import MergeSchedule, PipelineConfig
+from repro.core.pipeline import (
+    ParallelMSComplexPipeline,
+    compute_morse_smale_complex,
+)
+from repro.core.result import PipelineResult
+from repro.morse.msc import MorseSmaleComplex
+from repro.morse.gradient import compute_discrete_gradient
+from repro.mesh.grid import StructuredGrid
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MergeSchedule",
+    "MorseSmaleComplex",
+    "ParallelMSComplexPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "StructuredGrid",
+    "compute_discrete_gradient",
+    "compute_morse_smale_complex",
+    "__version__",
+]

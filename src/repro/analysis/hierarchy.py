@@ -1,0 +1,197 @@
+"""Multi-resolution MS complex hierarchy (paper §III-C and Fig. 1).
+
+"Repeated application of the cancellation operation in order of
+persistence results in a hierarchy of MS complexes and a
+multi-resolution representation of the scalar function."  The paper's
+analysis pipeline exploits this: the scientist "may interactively ...
+select different threshold values to define features" without
+recomputing anything.
+
+:class:`MSComplexHierarchy` captures a simplification run as
+birth/death intervals over cancellation levels: level ``L`` is the
+complex after the first ``L`` cancellations.  Queries at any persistence
+value are O(log #levels) to locate the level plus output size to
+materialize, with no mutation of the original complex.
+
+Build it from a complex that has been simplified but **not yet
+compacted** (compaction renumbers ids); the hierarchy copies everything
+it needs, so the source complex may be compacted or discarded afterward.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.morse.msc import MorseSmaleComplex
+
+__all__ = ["MSComplexHierarchy", "HierarchyLevelView"]
+
+_INF = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class HierarchyLevelView:
+    """The complex at one hierarchy level: node and arc tuples."""
+
+    level: int
+    persistence: float
+    #: (address, Morse index, value) per living node
+    nodes: list[tuple[int, int, float]]
+    #: (upper address, lower address) per living arc
+    arcs: list[tuple[int, int]]
+
+    def node_counts_by_index(self) -> tuple[int, int, int, int]:
+        counts = [0, 0, 0, 0]
+        for _a, idx, _v in self.nodes:
+            counts[idx] += 1
+        return tuple(counts)
+
+
+class MSComplexHierarchy:
+    """Birth/death interval representation of a cancellation sequence."""
+
+    def __init__(
+        self,
+        node_records: list[tuple[int, int, float]],
+        node_death: np.ndarray,
+        arc_records: list[tuple[int, int]],
+        arc_birth: np.ndarray,
+        arc_death: np.ndarray,
+        persistences: list[float],
+    ) -> None:
+        self._nodes = node_records
+        self._node_death = node_death
+        self._arcs = arc_records
+        self._arc_birth = arc_birth
+        self._arc_death = arc_death
+        #: persistence of each cancellation, in application order
+        self.persistences = persistences
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_complex(cls, msc: MorseSmaleComplex) -> "MSComplexHierarchy":
+        """Capture the hierarchy of a simplified, uncompacted complex.
+
+        Raises if any hierarchy record references ids outside the
+        complex's tables — the symptom of building from a compacted
+        complex.
+        """
+        n_nodes = len(msc.node_address)
+        n_arcs = len(msc.arc_upper)
+        node_death = np.full(n_nodes, _INF, dtype=np.int64)
+        arc_birth = np.zeros(n_arcs, dtype=np.int64)
+        arc_death = np.full(n_arcs, _INF, dtype=np.int64)
+
+        for level, c in enumerate(msc.hierarchy, start=1):
+            for nid in c.killed_nodes:
+                if not 0 <= nid < n_nodes:
+                    raise ValueError(
+                        "hierarchy references unknown node ids; build the "
+                        "hierarchy before compacting the complex"
+                    )
+                node_death[nid] = level
+            for aid in c.killed_arcs:
+                arc_death[aid] = level
+            for aid in c.created_arcs:
+                arc_birth[aid] = level
+
+        # consistency: a record that the complex still considers alive
+        # must have an open interval, and vice versa
+        for nid, alive in enumerate(msc.node_alive):
+            if alive != (node_death[nid] == _INF):
+                raise ValueError(
+                    "complex liveness disagrees with hierarchy records"
+                )
+
+        node_records = [
+            (msc.node_address[i], msc.node_index[i], msc.node_value[i])
+            for i in range(n_nodes)
+        ]
+        arc_records = [
+            (
+                msc.node_address[msc.arc_upper[a]],
+                msc.node_address[msc.arc_lower[a]],
+            )
+            for a in range(n_arcs)
+        ]
+        return cls(
+            node_records,
+            node_death,
+            arc_records,
+            arc_birth,
+            arc_death,
+            [c.persistence for c in msc.hierarchy],
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def num_levels(self) -> int:
+        """Number of cancellation levels (level 0 = unsimplified)."""
+        return len(self.persistences)
+
+    def level_of_persistence(self, persistence: float) -> int:
+        """Highest level whose cancellations all have persistence <= p.
+
+        Cancellation persistences are non-decreasing *as a threshold
+        sweep*: a level's simplification may interleave (new arcs can be
+        cheaper than the pair that created them), so the level is located
+        by scanning for the last prefix bounded by ``persistence``.
+        """
+        level = 0
+        for i, p in enumerate(self.persistences, start=1):
+            if p <= persistence:
+                level = i
+        return level
+
+    def counts_at_level(self, level: int) -> tuple[int, int, int, int]:
+        """Node counts by Morse index at a hierarchy level."""
+        self._check_level(level)
+        counts = [0, 0, 0, 0]
+        for (_a, idx, _v), death in zip(self._nodes, self._node_death):
+            if death > level:
+                counts[idx] += 1
+        return tuple(counts)
+
+    def view_at_level(self, level: int) -> HierarchyLevelView:
+        """Materialize the complex (nodes + arcs) at a hierarchy level."""
+        self._check_level(level)
+        nodes = [
+            rec
+            for rec, death in zip(self._nodes, self._node_death)
+            if death > level
+        ]
+        arcs = [
+            rec
+            for rec, birth, death in zip(
+                self._arcs, self._arc_birth, self._arc_death
+            )
+            if birth <= level < death
+        ]
+        pers = self.persistences[level - 1] if level else 0.0
+        return HierarchyLevelView(
+            level=level, persistence=pers, nodes=nodes, arcs=arcs
+        )
+
+    def view_at_persistence(self, persistence: float) -> HierarchyLevelView:
+        """Materialize the complex at a persistence threshold."""
+        return self.view_at_level(self.level_of_persistence(persistence))
+
+    def node_count_curve(self) -> tuple[list[float], list[int]]:
+        """(persistence, surviving node count) at every level boundary."""
+        total = len(self._nodes)
+        xs, ys = [0.0], [total]
+        for level, p in enumerate(self.persistences, start=1):
+            xs.append(p)
+            ys.append(total - 2 * level)
+        return xs, ys
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level <= self.num_levels:
+            raise ValueError(
+                f"level {level} out of range 0..{self.num_levels}"
+            )

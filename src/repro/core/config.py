@@ -1,0 +1,91 @@
+"""Pipeline configuration.
+
+Bundles the tunable parameters the paper exposes: "blocking strategy,
+merging strategy, and simplification level of the topology" (§I), plus
+the virtual machine parameters of this reproduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.machine.bgp import BlueGenePParams
+from repro.parallel.radixk import MergeSchedule, full_merge_radices
+
+__all__ = ["PipelineConfig", "MergeSchedule"]
+
+
+@dataclass
+class PipelineConfig:
+    """Configuration of one parallel MS complex computation.
+
+    Parameters
+    ----------
+    num_blocks:
+        Number of blocks of the domain decomposition (power of two for
+        the paper's bisection; otherwise pass explicit ``splits``).
+    num_procs:
+        Number of virtual processes; defaults to one block per process,
+        the configuration the paper uses in all its studies.  May be
+        smaller than ``num_blocks`` (block-cyclic assignment).
+    splits:
+        Optional explicit per-axis block counts overriding bisection.
+    persistence_threshold:
+        Per-block and per-merge simplification threshold (absolute
+        function-value difference).  0 disables simplification except
+        for the zero-persistence pairs produced by ties.
+    merge_radices:
+        ``"full"`` (merge to one block using the paper's guideline
+        schedule), ``"none"`` (skip merging entirely), or an explicit
+        sequence of radices in {2, 4, 8} for a partial merge.
+    max_radix:
+        Highest radix used when ``merge_radices="full"``.
+    machine:
+        Virtual Blue Gene/P parameters for the cost model.
+    validate:
+        Run structural invariant checks after every stage (slow; meant
+        for tests and small volumes).
+    simplify_at_zero_persistence:
+        Cancel zero-persistence pairs even when the threshold is 0;
+        matches the paper's handling of boundary artifacts, whose
+        cancellation "directly connects important critical points in the
+        interiors of neighboring blocks".
+    """
+
+    num_blocks: int
+    num_procs: int | None = None
+    splits: tuple[int, int, int] | None = None
+    persistence_threshold: float = 0.0
+    merge_radices: Sequence[int] | str = "full"
+    max_radix: int = 8
+    machine: BlueGenePParams = field(default_factory=BlueGenePParams)
+    validate: bool = False
+    simplify_at_zero_persistence: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_blocks < 1:
+            raise ValueError("num_blocks must be >= 1")
+        if self.num_procs is not None and self.num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        if self.persistence_threshold < 0:
+            raise ValueError("persistence_threshold must be >= 0")
+        if isinstance(self.merge_radices, str):
+            if self.merge_radices not in ("full", "none"):
+                raise ValueError(
+                    "merge_radices must be 'full', 'none', or a sequence"
+                )
+
+    @property
+    def resolved_num_procs(self) -> int:
+        return self.num_procs if self.num_procs is not None else self.num_blocks
+
+    def resolve_radices(self) -> list[int]:
+        """Concrete list of merge-round radices."""
+        if self.merge_radices == "none":
+            return []
+        if self.merge_radices == "full":
+            if self.num_blocks == 1:
+                return []
+            return full_merge_radices(self.num_blocks, self.max_radix)
+        return [int(r) for r in self.merge_radices]

@@ -1,0 +1,392 @@
+"""Global persistence simplification (paper §VII-B, future work).
+
+"In the longer term, we plan to experiment with global persistence
+simplification in the context of our parallel structure.  We anticipate
+that this can be performed using a series of nearest-neighbor
+communication operations.  This will allow us to further reduce the
+size of the output data and to reduce the complexity of the resulting
+MS complex."
+
+This module implements that plan on the output blocks of a *partial*
+merge.  The obstacle the paper identifies is that per-block
+simplification must leave every shared-boundary node uncancelled; after
+a partial merge those "handles" remain in the output.  The algorithm
+here resolves them with red-black nearest-neighbor sweeps:
+
+for each axis, alternating pair parity:
+    the right block of each adjacent pair sends its complex to the left
+    block's owner; the owner glues the two complexes, *unprotects* the
+    single cut plane between them (all other remaining cut planes stay
+    protected), re-simplifies, splits the complex back at that plane,
+    and returns the right half.
+
+Splitting introduces **ghost nodes**: a cross-boundary cancellation can
+create an arc whose endpoints lie in different halves; the half that
+keeps the arc (chosen by the upper endpoint, ties by the lower) stores
+the remote endpoint as a ghost placeholder that is never cancelled
+locally and never counted as a local feature.  Ghosts reconcile with
+their real copies if blocks are merged later.
+
+One full sweep (three axes × two parities) cancels every
+below-threshold boundary pair whose partner lies in the adjacent block;
+additional sweeps propagate across chains of blocks.  The result
+approaches the fully merged complex's simplification level while the
+data stays distributed — exactly the output-size reduction the paper
+anticipated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.glue import glue_into
+from repro.core.merge import pack_complex, unpack_complex
+from repro.core.result import PipelineResult
+from repro.machine.costmodel import CostModel, MergeWork
+from repro.mesh.addressing import address_to_coords
+from repro.morse.msc import MorseSmaleComplex
+from repro.morse.simplify import simplify_ms_complex
+from repro.parallel.runtime import VirtualMPI
+
+__all__ = [
+    "GlobalSimplifyStats",
+    "global_persistence_simplification",
+    "split_complex",
+]
+
+
+@dataclass
+class GlobalSimplifyStats:
+    """Outcome of a global simplification pass."""
+
+    sweeps: int = 0
+    pair_merges: int = 0
+    cancellations: int = 0
+    message_bytes: int = 0
+    nodes_before: int = 0
+    nodes_after: int = 0
+    output_bytes_before: int = 0
+    output_bytes_after: int = 0
+    virtual_seconds: float = 0.0
+    ghost_nodes: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"{self.sweeps} sweep(s), {self.pair_merges} pair merges, "
+            f"{self.cancellations} cancellations; nodes "
+            f"{self.nodes_before} -> {self.nodes_after}, output "
+            f"{self.output_bytes_before} -> {self.output_bytes_after} "
+            f"bytes, {self.ghost_nodes} ghosts, "
+            f"{self.message_bytes} message bytes, "
+            f"{self.virtual_seconds:.3f} virtual s"
+        )
+
+
+def split_complex(
+    msc: MorseSmaleComplex, axis: int, plane: int
+) -> tuple[MorseSmaleComplex, MorseSmaleComplex]:
+    """Split a compacted complex at a refined cut plane.
+
+    Nodes strictly below/above the plane go to the low/high half; nodes
+    on the plane are replicated into both (the shared-layer convention
+    of the paper's output format).  Each living arc is assigned to
+    exactly one half — the side of its upper endpoint, tie-broken by the
+    lower endpoint; arcs lying entirely in the plane are replicated.
+    Remote endpoints become ghost placeholders.
+    """
+    gdims = msc.global_refined_dims
+    cut_vertex = plane // 2
+    low = MorseSmaleComplex(
+        gdims,
+        msc.region_lo,
+        tuple(
+            (cut_vertex + 1) if a == axis else h
+            for a, h in enumerate(msc.region_hi)
+        ),
+    )
+    high = MorseSmaleComplex(
+        gdims,
+        tuple(
+            cut_vertex if a == axis else l
+            for a, l in enumerate(msc.region_lo)
+        ),
+        msc.region_hi,
+    )
+    low.hierarchy = list(msc.hierarchy)
+
+    def node_side(nid: int) -> int:
+        coords = address_to_coords(msc.node_address[nid], gdims)
+        c = coords[axis]
+        return -1 if c < plane else (1 if c > plane else 0)
+
+    maps: dict[int, dict[int, int]] = {-1: {}, 1: {}, 0: {}}
+
+    def ensure(half: MorseSmaleComplex, side_key: int, nid: int,
+               ghost: bool) -> int:
+        table = maps[side_key]
+        got = table.get(nid)
+        if got is not None:
+            return got
+        new = half.add_node(
+            msc.node_address[nid],
+            msc.node_index[nid],
+            msc.node_value[nid],
+            boundary=msc.node_boundary[nid] or (node_side(nid) == 0),
+            ghost=ghost or msc.node_ghost[nid],
+        )
+        table[nid] = new
+        return new
+
+    halves = {-1: low, 1: high}
+    for aid in msc.alive_arcs():
+        u, l = msc.arc_upper[aid], msc.arc_lower[aid]
+        su, sl = node_side(u), node_side(l)
+        if su == 0 and sl == 0:
+            targets = [(-1, low), (1, high)]  # in-plane arc: replicate
+        else:
+            side = su if su != 0 else sl
+            targets = [(side, halves[side])]
+        for side, half in targets:
+            key = side
+            nu = ensure(half, key, u, ghost=(su not in (0, side)))
+            nl = ensure(half, key, l, ghost=(sl not in (0, side)))
+            gid = half.new_leaf_geometry(msc.geometry_addresses(aid))
+            half.add_arc(nu, nl, gid)
+
+    # isolated nodes (no arcs) still belong to a side
+    for nid in msc.alive_nodes():
+        side = node_side(nid)
+        if side == 0:
+            ensure(low, -1, nid, ghost=False)
+            ensure(high, 1, nid, ghost=False)
+        else:
+            ensure(halves[side], side, nid, ghost=False)
+    return low, high
+
+
+def global_persistence_simplification(
+    result: PipelineResult,
+    threshold: float,
+    sweeps: int = 1,
+) -> GlobalSimplifyStats:
+    """Run nearest-neighbor global simplification on a partial-merge result.
+
+    Mutates ``result.output_blocks`` in place and returns statistics.
+    ``threshold`` is the global persistence level (usually the same as
+    the per-block threshold of the producing pipeline).
+    """
+    if sweeps < 1:
+        raise ValueError("sweeps must be >= 1")
+    schedule = result.schedule
+    decomp = result.decomposition
+    grid = schedule.grids[-1]
+    remaining = [list(p) for p in schedule.cut_planes_after(
+        schedule.num_rounds
+    )]
+    num_procs = result.stats.num_procs
+    model = CostModel(num_procs=num_procs)
+
+    stats = GlobalSimplifyStats(sweeps=sweeps)
+    stats.nodes_before = sum(result.combined_node_counts())
+    stats.output_bytes_before = sum(
+        len(pack_complex(m)) for m in result.output_blocks.values()
+    )
+
+    def grid_coords_of_block(bid: int) -> tuple[int, int, int]:
+        coords = decomp.block_coords(bid)
+        f = schedule.cumulative_factors(schedule.num_rounds)
+        return tuple(c // g for c, g in zip(coords, f))
+
+    def block_of_grid(gc: tuple[int, int, int]) -> int:
+        return decomp.linear_id(
+            schedule.original_root_block(gc, schedule.num_rounds)
+        )
+
+    owner_blocks: dict[int, dict[int, MorseSmaleComplex]] = {
+        r: {} for r in range(num_procs)
+    }
+    for bid, msc in result.output_blocks.items():
+        owner_blocks[decomp.rank_of_block(bid, num_procs)][bid] = msc
+
+    def program(comm):
+        mine = owner_blocks[comm.rank]
+        clock = 0.0
+        local = {
+            "merges": 0, "cancels": 0, "bytes": 0, "clock": 0.0,
+        }
+        tag_base = 5_000_000
+        for sweep in range(sweeps):
+            for axis in range(3):
+                planes = remaining[axis]
+                for parity in (0, 1):
+                    # pairs (left, right) along this axis
+                    pairs = []
+                    for gz in range(grid[2]):
+                        for gy in range(grid[1]):
+                            for gx in range(grid[0]):
+                                gc = (gx, gy, gz)
+                                if gc[axis] % 2 != parity:
+                                    continue
+                                nb = list(gc)
+                                nb[axis] += 1
+                                if nb[axis] >= grid[axis]:
+                                    continue
+                                pairs.append((gc, tuple(nb)))
+                    # send phase
+                    for gc, nb in pairs:
+                        left_bid = block_of_grid(gc)
+                        right_bid = block_of_grid(nb)
+                        left_rank = decomp.rank_of_block(
+                            left_bid, num_procs
+                        )
+                        right_rank = decomp.rank_of_block(
+                            right_bid, num_procs
+                        )
+                        tag = tag_base + right_bid
+                        if right_rank == comm.rank and right_bid in mine:
+                            blob = pack_complex(mine.pop(right_bid))
+                            if left_rank == comm.rank:
+                                mine[("inbox", right_bid)] = blob
+                            else:
+                                yield comm.send(
+                                    left_rank, blob, tag=tag
+                                )
+                    # merge + split + return phase
+                    for gc, nb in pairs:
+                        left_bid = block_of_grid(gc)
+                        right_bid = block_of_grid(nb)
+                        left_rank = decomp.rank_of_block(
+                            left_bid, num_procs
+                        )
+                        right_rank = decomp.rank_of_block(
+                            right_bid, num_procs
+                        )
+                        if left_rank != comm.rank:
+                            continue
+                        if right_rank == comm.rank:
+                            blob = mine.pop(("inbox", right_bid))
+                        else:
+                            blob = yield comm.recv(
+                                right_rank, tag=tag_base + right_bid
+                            )
+                            local["bytes"] += len(blob)
+                        other = unpack_complex(blob)
+                        root = mine[left_bid]
+                        plane = _plane_between(
+                            planes, root, other, axis
+                        )
+                        addr_index = root.address_index()
+                        glue_into(root, other, addr_index)
+                        cuts = [
+                            np.asarray(
+                                [p for p in remaining[a] if not (
+                                    a == axis and p == plane
+                                )],
+                                dtype=np.int64,
+                            )
+                            for a in range(3)
+                        ]
+                        root.update_boundary_flags(tuple(cuts))
+                        cancels = simplify_ms_complex(
+                            root, threshold, respect_boundary=True
+                        )
+                        root.compact()
+                        lo_half, hi_half = split_complex(
+                            root, axis, plane
+                        )
+                        lo_half.compact()
+                        hi_half.compact()
+                        mine[left_bid] = lo_half
+                        local["merges"] += 1
+                        local["cancels"] += len(cancels)
+                        mwork = MergeWork(
+                            glued_elements=other.num_alive_nodes()
+                            + other.num_alive_arcs(),
+                            cancellations=len(cancels),
+                            packed_bytes=len(blob),
+                        )
+                        clock += model.merge_time(mwork) + (
+                            model.message_time(
+                                len(blob), right_rank, comm.rank
+                            )
+                            if right_rank != comm.rank
+                            else 0.0
+                        )
+                        back = pack_complex(hi_half)
+                        if right_rank == comm.rank:
+                            mine[right_bid] = hi_half
+                        else:
+                            yield comm.send(
+                                right_rank, back,
+                                tag=tag_base * 2 + right_bid,
+                            )
+                    # receive returned halves
+                    for gc, nb in pairs:
+                        right_bid = block_of_grid(nb)
+                        left_bid = block_of_grid(gc)
+                        right_rank = decomp.rank_of_block(
+                            right_bid, num_procs
+                        )
+                        left_rank = decomp.rank_of_block(
+                            left_bid, num_procs
+                        )
+                        if (
+                            right_rank == comm.rank
+                            and left_rank != comm.rank
+                        ):
+                            blob = yield comm.recv(
+                                left_rank, tag=tag_base * 2 + right_bid
+                            )
+                            local["bytes"] += len(blob)
+                            mine[right_bid] = unpack_complex(blob)
+                    yield comm.barrier()
+        local["clock"] = clock
+        return {"blocks": mine, "stats": local}
+
+    mpi = VirtualMPI(num_procs)
+    rank_returns = mpi.run(program)
+
+    new_blocks: dict[int, MorseSmaleComplex] = {}
+    for ret in rank_returns:
+        stats.pair_merges += ret["stats"]["merges"]
+        stats.cancellations += ret["stats"]["cancels"]
+        stats.virtual_seconds = max(
+            stats.virtual_seconds, ret["stats"]["clock"]
+        )
+        for key, msc in ret["blocks"].items():
+            if isinstance(key, int):
+                new_blocks[key] = msc
+    result.output_blocks.clear()
+    result.output_blocks.update(new_blocks)
+
+    stats.message_bytes = sum(m.nbytes for m in mpi.message_log)
+    stats.nodes_after = sum(result.combined_node_counts())
+    stats.output_bytes_after = sum(
+        len(pack_complex(m)) for m in result.output_blocks.values()
+    )
+    stats.ghost_nodes = sum(
+        1
+        for m in result.output_blocks.values()
+        for n in m.alive_nodes()
+        if m.node_ghost[n]
+    )
+    return stats
+
+
+def _plane_between(planes, root, other, axis) -> int:
+    """The remaining cut plane separating two adjacent block regions."""
+    boundary_vertex = root.region_hi[axis] - 1
+    expected = 2 * boundary_vertex
+    if other.region_lo[axis] != boundary_vertex:
+        raise ValueError(
+            f"blocks are not adjacent along axis {axis}: "
+            f"{root.region_hi} vs {other.region_lo}"
+        )
+    if expected not in set(int(p) for p in planes):
+        raise ValueError(
+            f"no remaining cut plane at refined coord {expected} "
+            f"on axis {axis}"
+        )
+    return expected

@@ -1,0 +1,127 @@
+"""Gluing two MS complexes at their shared boundary nodes (paper §IV-F3).
+
+"Our technique for computing the discrete gradient ensures that it is
+identical on the shared boundary between blocks B_root and B_i.
+Therefore, any critical cell in this shared boundary is a node in both
+MS_root and MS_i.  These shared nodes anchor the gluing process.
+
+To glue MS_root and MS_i, first, each node n_j in MS_i that is not on
+the shared boundary is added to MS_root.  Next, each arc from MS_i is
+added to MS_root along with its corresponding geometry objects only if
+both its endpoints are not on the shared boundary.  When both endpoints
+of an arc are on the shared boundary, the arc is guaranteed to exist in
+MS_root already."
+
+Because block regions intersect exactly on their shared boundary, "node
+is on the shared boundary" is equivalent to "a node with the same global
+address already exists in MS_root" — the address encodes the geometric
+location, so co-located nodes are detected by address comparison.  Arcs
+whose V-path has entered a shared face can never leave it (the
+boundary-restricted pairing keeps face cells paired within the face), so
+an arc between two shared nodes lies entirely in the shared boundary and
+is bit-identical in both complexes — skipping it is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.morse.msc import MorseSmaleComplex
+
+__all__ = ["GlueStats", "glue_into"]
+
+
+@dataclass
+class GlueStats:
+    """Counters of one glue operation (consumed by the cost model)."""
+
+    nodes_added: int = 0
+    arcs_added: int = 0
+    shared_nodes: int = 0
+    arcs_skipped: int = 0
+
+    def __iadd__(self, other: "GlueStats") -> "GlueStats":
+        self.nodes_added += other.nodes_added
+        self.arcs_added += other.arcs_added
+        self.shared_nodes += other.shared_nodes
+        self.arcs_skipped += other.arcs_skipped
+        return self
+
+
+def glue_into(
+    root: MorseSmaleComplex,
+    other: MorseSmaleComplex,
+    addr_index: dict[int, int],
+) -> GlueStats:
+    """Glue ``other`` into ``root`` in place.
+
+    Parameters
+    ----------
+    root:
+        The group root's complex (grows).
+    other:
+        A compacted complex received from a group member.  Must share
+        ``global_refined_dims`` with the root.
+    addr_index:
+        Address -> node-id map over the root's living nodes (as returned
+        by :meth:`MorseSmaleComplex.address_index`); updated in place so
+        that gluing several members at the same root stays linear-time.
+    """
+    if other.global_refined_dims != root.global_refined_dims:
+        raise ValueError("cannot glue complexes of different datasets")
+
+    stats = GlueStats()
+    node_map: dict[int, int] = {}
+    shared: set[int] = set()
+    for nid in other.alive_nodes():
+        addr = other.node_address[nid]
+        existing = addr_index.get(addr)
+        if existing is not None:
+            if root.node_index[existing] != other.node_index[nid]:
+                raise AssertionError(
+                    f"shared node at address {addr} disagrees on Morse "
+                    f"index: {root.node_index[existing]} vs "
+                    f"{other.node_index[nid]}"
+                )
+            # The "arc already exists in the root" rule only applies to
+            # genuine shared-boundary nodes.  A ghost placeholder (from a
+            # global-simplification split) matching an incoming real node
+            # carries none of its arcs, so it must not suppress them.
+            if root.node_ghost[existing] and not other.node_ghost[nid]:
+                root.node_ghost[existing] = False
+                root.node_boundary[existing] = other.node_boundary[nid]
+            elif not root.node_ghost[existing] and not other.node_ghost[nid]:
+                shared.add(nid)
+            node_map[nid] = existing
+            stats.shared_nodes += 1
+        else:
+            new_id = root.add_node(
+                addr,
+                other.node_index[nid],
+                other.node_value[nid],
+                other.node_boundary[nid],
+                other.node_ghost[nid],
+            )
+            addr_index[addr] = new_id
+            node_map[nid] = new_id
+            stats.nodes_added += 1
+
+    for aid in other.alive_arcs():
+        u = other.arc_upper[aid]
+        l = other.arc_lower[aid]
+        if u in shared and l in shared:
+            # the arc lies within the shared boundary and already exists
+            # in the root complex
+            stats.arcs_skipped += 1
+            continue
+        gid = root.new_leaf_geometry(other.geometry_addresses(aid))
+        root.add_arc(node_map[u], node_map[l], gid)
+        stats.arcs_added += 1
+
+    root.region_lo = tuple(
+        min(a, b) for a, b in zip(root.region_lo, other.region_lo)
+    )
+    root.region_hi = tuple(
+        max(a, b) for a, b in zip(root.region_hi, other.region_hi)
+    )
+    return stats

@@ -1,0 +1,116 @@
+"""In-situ analysis mode (paper §VII-B, future work).
+
+"We plan to embed our algorithm into the S3D combustion code and
+generate parallel MS complexes in situ with combustion simulations."
+
+:class:`InSituAnalyzer` realizes that plan within this reproduction's
+virtual environment: the analyzer is constructed once per simulation
+(fixing the domain decomposition, merge schedule, and machine model —
+exactly what an in-situ coupling would reuse across timesteps), then fed
+one field per timestep.  Each step runs the full parallel pipeline on
+the current data and appends a compact record — feature counts, stage
+times, output size — to a time series the scientist can monitor while
+the simulation runs.  Amortized costs (decomposition, schedule, group
+tables) are paid once, as they would be in a real coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.features import significant_extrema
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ParallelMSComplexPipeline
+from repro.core.result import PipelineResult
+
+__all__ = ["InSituAnalyzer", "InSituStepRecord"]
+
+
+@dataclass
+class InSituStepRecord:
+    """One timestep's analysis summary."""
+
+    step: int
+    time: float
+    node_counts: tuple[int, int, int, int]
+    significant_minima: int
+    significant_maxima: int
+    output_bytes: int
+    virtual_seconds: float
+    real_seconds: float
+
+
+@dataclass
+class InSituAnalyzer:
+    """Run the parallel MS complex pipeline once per simulation step.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration shared by all timesteps.
+    feature_min_value, feature_max_value:
+        Value filters defining "significant" extrema for the monitoring
+        time series (e.g. mixture-fraction ceilings for dissipation
+        elements, density floors for spikes).
+    """
+
+    config: PipelineConfig
+    feature_min_value: float | None = None
+    feature_max_value: float | None = None
+    history: list[InSituStepRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._pipeline = ParallelMSComplexPipeline(self.config)
+
+    def step(
+        self, values: np.ndarray, time: float | None = None
+    ) -> tuple[InSituStepRecord, PipelineResult]:
+        """Analyze one timestep; returns (record, full pipeline result)."""
+        result = self._pipeline.run(values)
+        step_idx = len(self.history)
+        counts = result.combined_node_counts()
+        minima = maxima = 0
+        for msc in result.output_blocks.values():
+            minima += len(
+                significant_extrema(
+                    msc, 0,
+                    min_value=self.feature_min_value,
+                    max_value=self.feature_max_value,
+                )
+            )
+            maxima += len(
+                significant_extrema(
+                    msc, 3,
+                    min_value=self.feature_min_value,
+                    max_value=self.feature_max_value,
+                )
+            )
+        record = InSituStepRecord(
+            step=step_idx,
+            time=float(time) if time is not None else float(step_idx),
+            node_counts=counts,
+            significant_minima=minima,
+            significant_maxima=maxima,
+            output_bytes=result.stats.output_bytes,
+            virtual_seconds=result.stats.total_time,
+            real_seconds=result.stats.real_seconds_total,
+        )
+        self.history.append(record)
+        return record, result
+
+    def feature_timeseries(self) -> dict[str, list[float]]:
+        """Time series of the monitored quantities across steps."""
+        return {
+            "time": [r.time for r in self.history],
+            "minima": [float(r.significant_minima) for r in self.history],
+            "maxima": [float(r.significant_maxima) for r in self.history],
+            "nodes": [float(sum(r.node_counts)) for r in self.history],
+            "output_bytes": [
+                float(r.output_bytes) for r in self.history
+            ],
+            "virtual_seconds": [
+                r.virtual_seconds for r in self.history
+            ],
+        }

@@ -1,0 +1,83 @@
+"""Per-round merge computation at group roots (paper §IV-F).
+
+The three steps of the merge stage:
+
+1. *Preparing for communication* (§IV-F1): each member compacts its
+   simplified complex (dead hierarchy levels dropped, composite geometry
+   flattened) and serializes it; node addresses are already global.
+2. *Communication* (§IV-F2): members send their complexes to the group
+   root (the scheduler delivers; the machine model prices the bytes).
+3. *Merge computation* (§IV-F3): the root glues each incoming complex at
+   shared-boundary nodes, updates node boundary flags against the cut
+   planes that remain after the round, re-simplifies the newly interior
+   nodes, and compacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.glue import GlueStats, glue_into
+from repro.io.mscfile import deserialize_payload, serialize_payload
+from repro.morse.msc import MorseSmaleComplex
+from repro.morse.simplify import simplify_ms_complex
+from repro.morse.validate import assert_ms_complex_valid
+
+__all__ = ["MergeOutcome", "pack_complex", "unpack_complex", "perform_merge"]
+
+
+@dataclass
+class MergeOutcome:
+    """Result counters of one root merge."""
+
+    glue: GlueStats
+    boundary_nodes_freed: int
+    cancellations: int
+    nodes_after: int
+    arcs_after: int
+
+
+def pack_complex(msc: MorseSmaleComplex) -> bytes:
+    """Serialize a compacted complex for communication."""
+    return serialize_payload(msc.to_payload())
+
+
+def unpack_complex(blob: bytes) -> MorseSmaleComplex:
+    """Inverse of :func:`pack_complex`."""
+    return MorseSmaleComplex.from_payload(deserialize_payload(blob))
+
+
+def perform_merge(
+    root: MorseSmaleComplex,
+    incoming: list[MorseSmaleComplex],
+    remaining_cut_planes: tuple[np.ndarray, np.ndarray, np.ndarray],
+    persistence_threshold: float,
+    validate: bool = False,
+) -> MergeOutcome:
+    """Glue ``incoming`` complexes into ``root`` and re-simplify.
+
+    ``remaining_cut_planes`` are the decomposition cut planes that still
+    separate distinct merged blocks *after* this round; nodes no longer
+    on any of them become interior and cancellable.
+    """
+    addr_index = root.address_index()
+    glue_total = GlueStats()
+    for other in incoming:
+        glue_total += glue_into(root, other, addr_index)
+
+    freed = root.update_boundary_flags(remaining_cut_planes)
+    cancels = simplify_ms_complex(
+        root, persistence_threshold, respect_boundary=True
+    )
+    root.compact()
+    if validate:
+        assert_ms_complex_valid(root)
+    return MergeOutcome(
+        glue=glue_total,
+        boundary_nodes_freed=freed,
+        cancellations=len(cancels),
+        nodes_after=root.num_alive_nodes(),
+        arcs_after=root.num_alive_arcs(),
+    )

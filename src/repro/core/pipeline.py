@@ -1,0 +1,406 @@
+"""Algorithm 1: the two-stage parallel MS complex computation.
+
+::
+
+    Decompose domain                (§IV-A)
+    Read data blocks                (§IV-B)
+    for all local blocks do
+        Compute discrete gradient   (§IV-C)
+        Compute MS complex          (§IV-D)
+        Simplify MS complex         (§IV-E)
+    end for
+    for number of rounds do
+        Merge MS complex blocks     (§IV-F)
+    end for
+    Write MS complex blocks         (§IV-G)
+
+The algorithm is data-parallel: every step is performed by every virtual
+process.  Each rank runs :func:`_rank_main` as a generator program under
+:class:`repro.parallel.runtime.VirtualMPI`; the computation is real (the
+discrete gradient, tracing, simplification and gluing actually run), and
+each rank additionally advances a *virtual clock* priced by the Blue
+Gene/P cost model, from which the benchmark harness reads paper-style
+stage timings.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.merge import pack_complex, perform_merge, unpack_complex
+from repro.core.result import PipelineResult
+from repro.core.stats import (
+    BlockComputeStats,
+    MergeEventStats,
+    PipelineStats,
+    RankTimeline,
+)
+from repro.io.mscfile import serialize_payload
+from repro.io.volume import VolumeSpec, read_block
+from repro.machine.costmodel import ComputeWork, CostModel, MergeWork
+from repro.mesh.cubical import CubicalComplex
+from repro.mesh.grid import StructuredGrid
+from repro.morse.gradient import compute_discrete_gradient
+from repro.morse.msc import MorseSmaleComplex
+from repro.morse.simplify import simplify_ms_complex
+from repro.morse.tracing import extract_ms_complex
+from repro.morse.validate import (
+    assert_acyclic,
+    assert_gradient_field_valid,
+    assert_ms_complex_valid,
+)
+from repro.parallel.decomposition import BlockDecomposition, decompose
+from repro.parallel.radixk import MergeSchedule
+from repro.parallel.runtime import VirtualMPI
+
+__all__ = ["ParallelMSComplexPipeline", "compute_morse_smale_complex"]
+
+
+def compute_morse_smale_complex(
+    values: np.ndarray | StructuredGrid,
+    persistence_threshold: float = 0.0,
+    simplify: bool = True,
+    validate: bool = False,
+) -> MorseSmaleComplex:
+    """Serial MS complex of a scalar field (single block, no merging).
+
+    The convenience entry point for analysis at laptop scale and the
+    reference the parallel computation is validated against.  Returns a
+    compacted complex; the cancellation hierarchy remains available in
+    ``msc.hierarchy``.
+    """
+    grid = values if isinstance(values, StructuredGrid) else StructuredGrid(values)
+    cx = CubicalComplex(grid.values)
+    field = compute_discrete_gradient(cx)
+    if validate:
+        assert_gradient_field_valid(field)
+        assert_acyclic(field)
+    msc = extract_ms_complex(field)
+    if simplify:
+        simplify_ms_complex(
+            msc, persistence_threshold, respect_boundary=False
+        )
+    msc.compact()
+    if validate:
+        assert_ms_complex_valid(msc)
+    return msc
+
+
+@dataclass
+class _RunContext:
+    """Inputs shared by all ranks of one run (read-only)."""
+
+    cfg: PipelineConfig
+    decomp: BlockDecomposition
+    schedule: MergeSchedule
+    model: CostModel
+    grid: StructuredGrid | None
+    volume: VolumeSpec | None
+    vertex_bytes: int  # bytes per vertex sample on storage
+    #: per-round groups as (root_lid, root_rank, [(member_lid, member_rank)])
+    groups_by_round: list[list[tuple[int, int, list[tuple[int, int]]]]] = field(
+        default_factory=list
+    )
+    #: per-round remaining cut planes (after that round completes)
+    cuts_by_round: list[tuple] = field(default_factory=list)
+    #: same-rank member-to-root handoffs, keyed by (rank, round, block)
+    local_inbox: dict[tuple[int, int, int], Any] = field(default_factory=dict)
+
+
+class ParallelMSComplexPipeline:
+    """Driver for the parallel MS complex computation.
+
+    Typical use::
+
+        cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.05)
+        result = ParallelMSComplexPipeline(cfg).run(field)
+        merged = result.merged_complexes[0]
+    """
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+
+    def run(
+        self,
+        values: np.ndarray | StructuredGrid | None = None,
+        volume: VolumeSpec | None = None,
+    ) -> PipelineResult:
+        """Run the full pipeline on an in-memory field or a volume file."""
+        cfg = self.config
+        if (values is None) == (volume is None):
+            raise ValueError("pass exactly one of `values` or `volume`")
+        grid = None
+        if values is not None:
+            grid = (
+                values
+                if isinstance(values, StructuredGrid)
+                else StructuredGrid(values)
+            )
+            dims = grid.dims
+            vertex_bytes = 4  # the paper's datasets are 32-bit floats
+        else:
+            dims = volume.dims
+            vertex_bytes = volume.np_dtype.itemsize
+
+        decomp = decompose(dims, cfg.num_blocks, cfg.splits)
+        schedule = MergeSchedule(decomp, cfg.resolve_radices())
+        num_procs = cfg.resolved_num_procs
+        model = CostModel(cfg.machine, num_procs)
+        groups_by_round = []
+        cuts_by_round = []
+        for r in range(schedule.num_rounds):
+            rows = []
+            for root_coords, member_coords in schedule.groups(r):
+                root_lid = decomp.linear_id(root_coords)
+                members = [
+                    (
+                        decomp.linear_id(mc),
+                        decomp.rank_of_block(decomp.linear_id(mc), num_procs),
+                    )
+                    for mc in member_coords
+                ]
+                rows.append(
+                    (root_lid, decomp.rank_of_block(root_lid, num_procs),
+                     members)
+                )
+            groups_by_round.append(rows)
+            cuts_by_round.append(schedule.cut_planes_after(r + 1))
+
+        ctx = _RunContext(
+            cfg=cfg,
+            decomp=decomp,
+            schedule=schedule,
+            model=model,
+            grid=grid,
+            volume=volume,
+            vertex_bytes=vertex_bytes,
+            groups_by_round=groups_by_round,
+            cuts_by_round=cuts_by_round,
+        )
+
+        t0 = time.perf_counter()
+        mpi = VirtualMPI(num_procs)
+        rank_returns = mpi.run(_rank_main, ctx)
+        wall = time.perf_counter() - t0
+
+        stats = PipelineStats(
+            num_procs=num_procs,
+            num_blocks=cfg.num_blocks,
+            radices=[r.radix for r in schedule.rounds],
+            real_seconds_total=wall,
+            message_bytes=sum(m.nbytes for m in mpi.message_log),
+        )
+        output_blocks: dict[int, MorseSmaleComplex] = {}
+        for ret in rank_returns:
+            stats.block_stats.extend(ret["block_stats"])
+            stats.merge_events.extend(ret["merge_events"])
+            stats.timelines.append(ret["timeline"])
+            for bid, msc in ret["final_blocks"].items():
+                output_blocks[bid] = msc
+        stats.block_stats.sort(key=lambda b: b.block_id)
+        stats.output_bytes = sum(
+            len(serialize_payload(m.to_payload()))
+            for m in output_blocks.values()
+        )
+        return PipelineResult(
+            output_blocks=output_blocks,
+            decomposition=decomp,
+            schedule=schedule,
+            stats=stats,
+        )
+
+
+# ---------------------------------------------------------------------------
+# the SPMD rank program
+# ---------------------------------------------------------------------------
+
+
+def _read_block_values(ctx: _RunContext, box) -> np.ndarray:
+    if ctx.grid is not None:
+        return np.array(ctx.grid.extract_block(box), dtype=np.float64)
+    return read_block(ctx.volume, box)
+
+
+def _message_tag(round_idx: int, member_block: int, num_blocks: int) -> int:
+    """Unique tag per (round, member block)."""
+    return round_idx * num_blocks + member_block
+
+
+def _rank_main(comm, ctx: _RunContext):
+    """The per-rank program (a generator yielding comm requests)."""
+    cfg, decomp, schedule, model = ctx.cfg, ctx.decomp, ctx.schedule, ctx.model
+    P = comm.size
+    my_blocks = decomp.blocks_of_rank(comm.rank, P)
+    timeline = RankTimeline(rank=comm.rank)
+    block_stats: list[BlockComputeStats] = []
+    merge_events: list[MergeEventStats] = []
+    clock = 0.0
+
+    # ---- read data blocks (§IV-B) -------------------------------------
+    block_values: dict[int, np.ndarray] = {}
+    read_bytes = 0
+    for bid in my_blocks:
+        box = decomp.block_box(decomp.block_coords(bid))
+        block_values[bid] = _read_block_values(ctx, box)
+        read_bytes += box.num_vertices * ctx.vertex_bytes
+    timeline.read = model.read_time(read_bytes)
+    clock += timeline.read
+
+    # ---- compute stage (§IV-C,D,E) -------------------------------------
+    complexes: dict[int, MorseSmaleComplex] = {}
+    compute_virtual = 0.0
+    for bid in my_blocks:
+        box = decomp.block_box(decomp.block_coords(bid))
+        t0 = time.perf_counter()
+        cx = CubicalComplex(
+            block_values.pop(bid),
+            refined_origin=box.refined_origin,
+            global_refined_dims=decomp.global_refined_dims,
+            cut_planes=decomp.cut_planes,
+        )
+        field = compute_discrete_gradient(cx)
+        if cfg.validate:
+            assert_gradient_field_valid(field)
+            assert_acyclic(field)
+        msc = extract_ms_complex(field)
+        geometry_traced = msc.total_geometry_length()
+        crit_counts = field.critical_counts()
+        if cfg.persistence_threshold == 0 and not cfg.simplify_at_zero_persistence:
+            cancels = []
+        else:
+            cancels = simplify_ms_complex(
+                msc, cfg.persistence_threshold, respect_boundary=True
+            )
+        msc.compact()
+        if cfg.validate:
+            assert_ms_complex_valid(msc)
+        real = time.perf_counter() - t0
+        work = ComputeWork(
+            cells=cx.num_cells,
+            geometry_cells=geometry_traced,
+            cancellations=len(cancels),
+        )
+        virt = model.compute_time(work)
+        compute_virtual += virt
+        complexes[bid] = msc
+        block_stats.append(
+            BlockComputeStats(
+                block_id=bid,
+                rank=comm.rank,
+                cells=cx.num_cells,
+                critical_counts=crit_counts,
+                nodes_after_simplify=msc.num_alive_nodes(),
+                arcs_after_simplify=msc.num_alive_arcs(),
+                geometry_cells_traced=geometry_traced,
+                cancellations=len(cancels),
+                real_seconds=real,
+                virtual_seconds=virt,
+            )
+        )
+        del cx, field
+    timeline.compute = compute_virtual
+    clock += compute_virtual
+
+    # ---- merge rounds (§IV-F) -------------------------------------------
+    nb = decomp.num_blocks
+    for round_idx in range(schedule.num_rounds):
+        groups = ctx.groups_by_round[round_idx]
+        # pass 1: send local member complexes to their group roots
+        for root_bid, root_rank, members in groups:
+            for mbid, m_rank in members:
+                if m_rank != comm.rank or mbid not in complexes:
+                    continue  # not ours
+                blob = pack_complex(complexes.pop(mbid))
+                message = {"clock": clock, "blob": blob}
+                if root_rank == comm.rank:
+                    # local move: no message, data already resident
+                    ctx.local_inbox[(comm.rank, round_idx, mbid)] = message
+                else:
+                    yield comm.send(
+                        root_rank,
+                        message,
+                        tag=_message_tag(round_idx, mbid, nb),
+                    )
+        # pass 2: roots receive and merge
+        cuts_after = ctx.cuts_by_round[round_idx]
+        for root_bid, root_rank, members in groups:
+            if root_rank != comm.rank or root_bid not in complexes:
+                continue
+            arrivals = [clock]
+            incoming: list[MorseSmaleComplex] = []
+            recv_bytes = 0
+            for mbid, m_rank in members:
+                if m_rank == comm.rank:
+                    message = ctx.local_inbox.pop(
+                        (comm.rank, round_idx, mbid)
+                    )
+                    arrivals.append(message["clock"])
+                else:
+                    message = yield comm.recv(
+                        m_rank, tag=_message_tag(round_idx, mbid, nb)
+                    )
+                    nbytes = len(message["blob"])
+                    recv_bytes += nbytes
+                    arrivals.append(
+                        message["clock"]
+                        + model.message_time(nbytes, m_rank, comm.rank)
+                    )
+                incoming.append(unpack_complex(message["blob"]))
+            wait = max(arrivals) - clock
+            clock = max(arrivals)
+            t0 = time.perf_counter()
+            root_msc = complexes[root_bid]
+            outcome = perform_merge(
+                root_msc,
+                incoming,
+                cuts_after,
+                cfg.persistence_threshold,
+                validate=cfg.validate,
+            )
+            real = time.perf_counter() - t0
+            mwork = MergeWork(
+                glued_elements=(
+                    outcome.glue.nodes_added + outcome.glue.arcs_added
+                ),
+                cancellations=outcome.cancellations,
+                packed_bytes=recv_bytes,
+            )
+            mtime = model.merge_time(mwork)
+            clock += mtime
+            merge_events.append(
+                MergeEventStats(
+                    round_idx=round_idx,
+                    root_block=root_bid,
+                    root_rank=comm.rank,
+                    members=len(members),
+                    received_bytes=recv_bytes,
+                    nodes_glued=outcome.glue.nodes_added,
+                    arcs_glued=outcome.glue.arcs_added,
+                    boundary_nodes_freed=outcome.boundary_nodes_freed,
+                    cancellations=outcome.cancellations,
+                    wait_seconds=wait,
+                    merge_seconds=mtime,
+                    real_seconds=real,
+                )
+            )
+        timeline.after_round.append(clock)
+
+    # ---- write MS complex blocks (§IV-G) --------------------------------
+    write_bytes = sum(
+        len(pack_complex(m)) for m in complexes.values()
+    )
+    timeline.write = model.write_time(write_bytes)
+    clock += timeline.write
+    timeline.final_clock = clock
+
+    return {
+        "block_stats": block_stats,
+        "merge_events": merge_events,
+        "timeline": timeline,
+        "final_blocks": complexes,
+    }

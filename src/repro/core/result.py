@@ -1,0 +1,67 @@
+"""Pipeline run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.stats import PipelineStats
+from repro.io.mscfile import write_msc_file
+from repro.morse.msc import MorseSmaleComplex
+from repro.parallel.decomposition import BlockDecomposition
+from repro.parallel.radixk import MergeSchedule
+
+__all__ = ["PipelineResult"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything a pipeline run produces.
+
+    ``output_blocks`` maps the (original-grid linear) block id of each
+    surviving merge root to its merged, compacted MS complex — one entry
+    after a full merge, ``num_blocks / prod(radices)`` after a partial
+    merge, ``num_blocks`` with merging disabled.
+    """
+
+    output_blocks: dict[int, MorseSmaleComplex]
+    decomposition: BlockDecomposition
+    schedule: MergeSchedule
+    stats: PipelineStats
+
+    @property
+    def merged_complexes(self) -> list[MorseSmaleComplex]:
+        """Output complexes ordered by block id."""
+        return [self.output_blocks[b] for b in sorted(self.output_blocks)]
+
+    @property
+    def num_output_blocks(self) -> int:
+        return len(self.output_blocks)
+
+    def combined_node_counts(self) -> tuple[int, int, int, int]:
+        """Node counts by Morse index summed over all output blocks.
+
+        With more than one output block, shared boundary nodes are
+        counted once (they appear in several blocks' complexes), and
+        ghost placeholders are not counted at all (their real copy lives
+        in another block).
+        """
+        seen: set[int] = set()
+        counts = [0, 0, 0, 0]
+        for msc in self.output_blocks.values():
+            for nid in msc.alive_nodes():
+                if msc.node_ghost[nid]:
+                    continue
+                addr = msc.node_address[nid]
+                if addr not in seen:
+                    seen.add(addr)
+                    counts[msc.node_index[nid]] += 1
+        return tuple(counts)
+
+    def write(self, path: str | Path) -> int:
+        """Write the output blocks as an MSC file; returns bytes written."""
+        blocks = [
+            (bid, self.output_blocks[bid].to_payload())
+            for bid in sorted(self.output_blocks)
+        ]
+        return write_msc_file(path, blocks)

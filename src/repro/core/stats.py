@@ -1,0 +1,158 @@
+"""Per-stage work and timing accounting.
+
+Every pipeline run produces a :class:`PipelineStats`: real measured wall
+times of the Python computation, exact work counters, and virtual Blue
+Gene/P seconds per stage per rank.  The benchmark harness prints the
+paper's tables and figures from these records.
+
+Virtual-time semantics match the paper's reporting: a stage's time is
+the maximum over ranks (processes run concurrently and the stage ends at
+a synchronization point), and per-round merge times are increments of
+the global maximum clock across the round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BlockComputeStats",
+    "MergeEventStats",
+    "RankTimeline",
+    "PipelineStats",
+]
+
+
+@dataclass
+class BlockComputeStats:
+    """Compute-stage record of one block."""
+
+    block_id: int
+    rank: int
+    cells: int
+    critical_counts: tuple[int, int, int, int]
+    nodes_after_simplify: int
+    arcs_after_simplify: int
+    geometry_cells_traced: int
+    cancellations: int
+    real_seconds: float
+    virtual_seconds: float
+
+
+@dataclass
+class MergeEventStats:
+    """One merge performed at a group root."""
+
+    round_idx: int
+    root_block: int
+    root_rank: int
+    members: int
+    received_bytes: int
+    nodes_glued: int
+    arcs_glued: int
+    boundary_nodes_freed: int
+    cancellations: int
+    wait_seconds: float  # virtual idle time until the last member arrived
+    merge_seconds: float  # virtual glue + re-simplify + pack time
+    real_seconds: float
+
+
+@dataclass
+class RankTimeline:
+    """Virtual clock components of one rank, in pipeline order."""
+
+    rank: int
+    read: float = 0.0
+    compute: float = 0.0
+    #: per-round virtual clock value *after* that round, for this rank
+    after_round: list[float] = field(default_factory=list)
+    write: float = 0.0
+    final_clock: float = 0.0
+
+
+@dataclass
+class PipelineStats:
+    """Aggregated statistics of one pipeline run."""
+
+    num_procs: int
+    num_blocks: int
+    radices: list[int]
+    block_stats: list[BlockComputeStats] = field(default_factory=list)
+    merge_events: list[MergeEventStats] = field(default_factory=list)
+    timelines: list[RankTimeline] = field(default_factory=list)
+    output_bytes: int = 0
+    message_bytes: int = 0
+    real_seconds_total: float = 0.0
+
+    # -- virtual stage times (paper-style reporting) ---------------------
+
+    @property
+    def read_time(self) -> float:
+        """Virtual read-stage time (max over ranks)."""
+        return max((t.read for t in self.timelines), default=0.0)
+
+    @property
+    def compute_time(self) -> float:
+        """Virtual compute-stage time (max over ranks)."""
+        return max((t.compute for t in self.timelines), default=0.0)
+
+    def merge_round_times(self) -> list[float]:
+        """Virtual duration of each merge round (global clock increments)."""
+        if not self.timelines or not self.timelines[0].after_round:
+            return []
+        num_rounds = len(self.timelines[0].after_round)
+        out = []
+        prev = max(t.read + t.compute for t in self.timelines)
+        for r in range(num_rounds):
+            cur = max(t.after_round[r] for t in self.timelines)
+            out.append(max(0.0, cur - prev))
+            prev = cur
+        return out
+
+    @property
+    def merge_time(self) -> float:
+        """Total virtual merge-stage time."""
+        return sum(self.merge_round_times())
+
+    @property
+    def write_time(self) -> float:
+        """Virtual write-stage time (max over ranks)."""
+        return max((t.write for t in self.timelines), default=0.0)
+
+    @property
+    def total_time(self) -> float:
+        """Virtual end-to-end time."""
+        return max((t.final_clock for t in self.timelines), default=0.0)
+
+    def stage_breakdown(self) -> dict[str, float]:
+        """Virtual seconds per stage, paper Fig. 9 style."""
+        return {
+            "read": self.read_time,
+            "compute": self.compute_time,
+            "merge": self.merge_time,
+            "write": self.write_time,
+            "total": self.total_time,
+        }
+
+    # -- structure summaries ----------------------------------------------
+
+    def total_cells(self) -> int:
+        return sum(b.cells for b in self.block_stats)
+
+    def total_critical_points(self) -> int:
+        return sum(sum(b.critical_counts) for b in self.block_stats)
+
+    def describe(self) -> str:
+        """Multi-line human-readable run report."""
+        s = self.stage_breakdown()
+        lines = [
+            f"procs={self.num_procs} blocks={self.num_blocks} "
+            f"radices={self.radices}",
+            f"  virtual: read={s['read']:.3f}s compute={s['compute']:.3f}s "
+            f"merge={s['merge']:.3f}s write={s['write']:.3f}s "
+            f"total={s['total']:.3f}s",
+            f"  real: {self.real_seconds_total:.3f}s wall",
+            f"  output: {self.output_bytes} bytes, "
+            f"messages: {self.message_bytes} bytes",
+        ]
+        return "\n".join(lines)

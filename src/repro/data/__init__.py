@@ -1,0 +1,28 @@
+"""Dataset generators for the paper's workloads.
+
+- :mod:`repro.data.synthetic` — the sinusoidal size/complexity family of
+  the data size and complexity study (Figs. 5 and 6), plus smooth random
+  fields for tests,
+- :mod:`repro.data.datasets` — proxies for the paper's scientific data:
+  the hydrogen-atom probability density (Fig. 4 stability study), the
+  JET combustion mixture fraction (Fig. 9 strong scaling), and the
+  Rayleigh-Taylor mixing density (Fig. 10 strong scaling).  See DESIGN.md
+  for the substitution rationale.
+"""
+
+from repro.data.synthetic import sinusoidal_field, gaussian_bumps_field
+from repro.data.datasets import (
+    hydrogen_atom,
+    jet_mixture_fraction_proxy,
+    rayleigh_taylor_proxy,
+    rayleigh_taylor_sequence,
+)
+
+__all__ = [
+    "gaussian_bumps_field",
+    "hydrogen_atom",
+    "jet_mixture_fraction_proxy",
+    "rayleigh_taylor_proxy",
+    "rayleigh_taylor_sequence",
+    "sinusoidal_field",
+]

@@ -1,0 +1,179 @@
+"""Proxies for the paper's scientific datasets.
+
+The original data (a hydrogen-atom probability density, the S3D JET
+turbulent-jet mixture fraction at 768x896x512, and a 1152^3
+Rayleigh-Taylor density field) are not distributable with this
+reproduction.  Each proxy below synthesizes a field with the same
+*feature structure* the corresponding experiment depends on — feature
+counts, spatial distribution, plateaus/degeneracies — at configurable
+(laptop-scale) resolution.  See DESIGN.md §2 for the substitution table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hydrogen_atom",
+    "jet_mixture_fraction_proxy",
+    "rayleigh_taylor_proxy",
+    "rayleigh_taylor_sequence",
+]
+
+
+def hydrogen_atom(
+    n: int = 48, byte_valued: bool = True
+) -> np.ndarray:
+    """Hydrogen-atom-in-magnetic-field probability density proxy (Fig. 4).
+
+    The paper's stability study uses "a byte-valued scalar function
+    representing the spatial probability density of a hydrogen atom
+    residing in a strong magnetic field", whose salient features are
+    "three stable maxima connected by stable arcs in a line, and the loop
+    representing the toroidal region", embedded in a large constant-value
+    exterior (which makes exterior critical points *unstable*).
+
+    This proxy superposes three Gaussian lobes along the field (z) axis
+    with a toroidal ring in the midplane, quantized to bytes so the
+    exterior is exactly flat.
+    """
+    t = np.linspace(-1.0, 1.0, n)
+    X, Y, Z = np.meshgrid(t, t, t, indexing="ij")
+    rho = np.sqrt(X**2 + Y**2)
+
+    lobes = np.zeros_like(X)
+    for z0, amp in ((-0.45, 18.0), (0.0, 22.0), (0.45, 18.0)):
+        lobes += amp * np.exp(
+            -(rho**2 / 0.018 + (Z - z0) ** 2 / 0.012)
+        )
+    torus = 16.0 * np.exp(
+        -(((rho - 0.62) ** 2) / 0.01 + Z**2 / 0.01)
+    )
+    f = lobes + torus
+    if byte_valued:
+        f = np.clip(np.round(f), 0, 255).astype(np.uint8).astype(np.float64)
+    return f
+
+
+def jet_mixture_fraction_proxy(
+    dims: tuple[int, int, int] = (96, 112, 64),
+    seed: int = 7,
+    turbulence_octaves: int = 4,
+) -> np.ndarray:
+    """Turbulent-jet mixture-fraction proxy (Fig. 9 strong scaling).
+
+    The JET simulation is "a temporally-evolving turbulent CO/H2 jet
+    flame"; dissipation elements are "centered around minima of mixture
+    fraction".  The proxy builds a planar jet core (mixture fraction ~1
+    in the core decaying to 0 outside) and superposes band-limited
+    multi-octave turbulence concentrated in the shear layers, producing
+    many local minima inside the mixing region — the features whose count
+    drives merge time.
+    """
+    nx, ny, nz = dims
+    x = np.linspace(0.0, 1.0, nx)[:, None, None]
+    y = np.linspace(-1.0, 1.0, ny)[None, :, None]
+    z = np.linspace(0.0, 1.0, nz)[None, None, :]
+
+    # jet core: high mixture fraction in a slab around y=0
+    core = 0.5 * (np.tanh((0.35 - np.abs(y)) / 0.08) + 1.0)
+    core = np.broadcast_to(core, dims).copy()
+
+    # shear-layer envelope: strongest where the gradient of the core is
+    envelope = np.exp(-((np.abs(y) - 0.35) ** 2) / 0.02)
+
+    rng = np.random.default_rng(seed)
+    turb = np.zeros(dims)
+    for octave in range(turbulence_octaves):
+        k = 2.0 ** (octave + 1)
+        amp = 0.22 / (2.0**octave)
+        px, py, pz = rng.uniform(0, 2 * np.pi, size=3)
+        qx, qy, qz = rng.uniform(0.6, 1.4, size=3)
+        turb += amp * (
+            np.sin(2 * np.pi * k * qx * x + px)
+            * np.sin(2 * np.pi * k * qy * y + py)
+            * np.sin(2 * np.pi * k * qz * z + pz)
+        )
+    f = core + envelope * turb
+    return f.astype(np.float32).astype(np.float64)
+
+
+def rayleigh_taylor_proxy(
+    dims: tuple[int, int, int] = (96, 96, 96),
+    seed: int = 11,
+    interface_modes: int = 6,
+    num_plumes: int = 24,
+) -> np.ndarray:
+    """Rayleigh-Taylor mixing-density proxy (Fig. 10 strong scaling).
+
+    "When a heavy fluid is placed on top of a lighter one, vertical
+    perturbations in the interface create a structure of rising bubbles
+    and falling spikes. ... the 1-skeleton of the MS complex can detect
+    when isolated bits of one fluid penetrate the other."
+
+    The proxy stacks a heavy fluid (density ~3) over a light one (~1)
+    with a multi-mode perturbed interface, then inserts detached bubbles
+    (light blobs above the interface) and spikes (heavy blobs below) —
+    the isolated penetrating features the MS complex should find.
+    """
+    nx, ny, nz = dims
+    x = np.linspace(0.0, 1.0, nx)
+    y = np.linspace(0.0, 1.0, ny)
+    z = np.linspace(0.0, 1.0, nz)
+    X, Y, Z = np.meshgrid(x, y, z, indexing="ij")
+
+    rng = np.random.default_rng(seed)
+    h = 0.5 * np.ones((nx, ny))
+    for _ in range(interface_modes):
+        kx, ky = rng.integers(1, 5, size=2)
+        amp = rng.uniform(0.02, 0.06)
+        phx, phy = rng.uniform(0, 2 * np.pi, size=2)
+        h += amp * np.cos(2 * np.pi * kx * x[:, None] + phx) * np.cos(
+            2 * np.pi * ky * y[None, :] + phy
+        )
+
+    # heavy fluid on top: density rises through the interface
+    f = 2.0 + np.tanh((Z - h[:, :, None]) / 0.05)
+
+    # bubbles of light fluid above, spikes of heavy fluid below
+    for _ in range(num_plumes):
+        cx, cy = rng.uniform(0.1, 0.9, size=2)
+        is_bubble = rng.random() < 0.5
+        base = float(h[int(cx * (nx - 1)), int(cy * (ny - 1))])
+        if is_bubble:
+            cz = min(0.95, base + rng.uniform(0.08, 0.3))
+            amp = -rng.uniform(0.8, 1.6)  # light blob in heavy region
+        else:
+            cz = max(0.05, base - rng.uniform(0.08, 0.3))
+            amp = rng.uniform(0.8, 1.6)  # heavy blob in light region
+        w = rng.uniform(0.03, 0.07)
+        f += amp * np.exp(
+            -((X - cx) ** 2 + (Y - cy) ** 2 + (Z - cz) ** 2) / w**2
+        )
+    return f.astype(np.float32).astype(np.float64)
+
+
+def rayleigh_taylor_sequence(
+    dims: tuple[int, int, int] = (32, 32, 32),
+    num_steps: int = 6,
+    seed: int = 11,
+):
+    """Time-evolving Rayleigh-Taylor proxy for in-situ analysis.
+
+    Yields ``(time, field)`` pairs with the instability developing: the
+    interface perturbation amplitude grows and more bubbles/spikes
+    detach as time advances — so an in-situ monitor should observe the
+    feature count increasing, the signal the paper's planned S3D
+    coupling (§VII-B) was meant to deliver during a run.
+    """
+    if num_steps < 1:
+        raise ValueError("num_steps must be >= 1")
+    for step in range(num_steps):
+        t = step / max(1, num_steps - 1)
+        # growth: deeper interface modes and more detached plumes
+        yield t, rayleigh_taylor_proxy(
+            dims,
+            seed=seed,  # frozen mode phases: a coherent time evolution
+            interface_modes=3 + int(5 * t),
+            num_plumes=int(4 + 20 * t),
+        )

@@ -1,0 +1,122 @@
+"""Synthetic scalar fields of controlled size and complexity (§VI-B).
+
+"We generated synthetic datasets of various size and complexity by
+computing a sinusoidal scalar field.  The data are 3D 32-bit floating
+point values, on a cubic grid of a given number of points per side of the
+cube. ... The complexity, or number of features per side, is how many
+times the sine function has a ±1 value along the length of one side of
+the volume."
+
+:func:`sinusoidal_field` reproduces that family: a product of per-axis
+sines whose frequency puts ``features_per_side`` extrema along each axis,
+so the expected number of significant maxima scales as
+``features_per_side**3 / 2`` independent of the sampling resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sinusoidal_field", "gaussian_bumps_field", "expected_extrema"]
+
+
+def sinusoidal_field(
+    points_per_side: int,
+    features_per_side: int,
+    dims: tuple[int, int, int] | None = None,
+    phase: float = 0.0,
+    tilt: float = 1e-4,
+    dtype=np.float32,
+) -> np.ndarray:
+    """The paper's sinusoidal test family.
+
+    Parameters
+    ----------
+    points_per_side:
+        Samples per axis (cubic volume unless ``dims`` given); "512 points
+        per side represents a 512x512x512 volume".
+    features_per_side:
+        How many times the per-axis sine reaches ±1 along one side.
+    dims:
+        Optional non-cubic dims overriding ``points_per_side``.
+    phase:
+        Phase offset, useful for generating decorrelated variants.
+    tilt:
+        Amplitude of a tiny linear ramp added to break the exact value
+        ties of the product-of-sines field (its symmetry repeats the
+        same sample values across the whole volume).  Massive ties drive
+        long zero-persistence cancellation chains and parallel-arc
+        growth during simplification — an artifact of perfect symmetry
+        that real simulation data never has.  Set to 0 to study the
+        fully degenerate field.
+
+    Returns
+    -------
+    float array (32-bit by default, as in the paper) indexed ``[i, j, k]``.
+    """
+    if features_per_side < 1:
+        raise ValueError("features_per_side must be >= 1")
+    shape = dims if dims is not None else (points_per_side,) * 3
+    if any(n < 2 for n in shape):
+        raise ValueError(f"volume dims too small: {shape}")
+    axes = []
+    for n in shape:
+        t = np.linspace(0.0, 1.0, n)
+        # sin(pi*k*t + pi/2k) hits +-1 exactly k times on t in [0, 1]
+        k = features_per_side
+        axes.append(np.sin(np.pi * k * t + np.pi / (2 * k) + phase))
+    f = (
+        axes[0][:, None, None]
+        * axes[1][None, :, None]
+        * axes[2][None, None, :]
+    )
+    if tilt:
+        ramps = [
+            np.linspace(0.0, (a + 1) * tilt, n)
+            for a, n in enumerate(shape)
+        ]
+        f = (
+            f
+            + ramps[0][:, None, None]
+            + ramps[1][None, :, None]
+            + ramps[2][None, None, :]
+        )
+    return f.astype(dtype)
+
+
+def expected_extrema(features_per_side: int) -> int:
+    """Rough expected count of maxima of the sinusoidal field.
+
+    The product of three sines with ``k`` extrema per axis has about
+    ``k**3`` local extrema, half of which are maxima.  Used by benches to
+    sanity-check measured feature counts.
+    """
+    return max(1, features_per_side**3 // 2)
+
+
+def gaussian_bumps_field(
+    dims: tuple[int, int, int],
+    num_bumps: int,
+    seed: int = 0,
+    width: float = 0.12,
+    noise: float = 0.0,
+) -> np.ndarray:
+    """Sum of randomly placed Gaussian bumps (smooth, feature-countable).
+
+    A convenient test field: smooth (few spurious critical points), with
+    a controllable number of well-separated maxima.  Optional white noise
+    of amplitude ``noise`` exercises simplification.
+    """
+    rng = np.random.default_rng(seed)
+    grids = [np.linspace(0.0, 1.0, n) for n in dims]
+    X, Y, Z = np.meshgrid(*grids, indexing="ij")
+    f = np.zeros(dims)
+    centers = rng.uniform(0.15, 0.85, size=(num_bumps, 3))
+    amps = rng.uniform(0.5, 1.0, size=num_bumps)
+    for (cx, cy, cz), a in zip(centers, amps):
+        f += a * np.exp(
+            -((X - cx) ** 2 + (Y - cy) ** 2 + (Z - cz) ** 2) / width**2
+        )
+    if noise > 0:
+        f = f + rng.normal(0.0, noise, size=dims)
+    return f

@@ -1,0 +1,21 @@
+"""Parallel block I/O substrate.
+
+- :mod:`repro.io.volume` — raw scalar volumes on disk and the per-block
+  subarray reads the paper performs with MPI-IO file views (§IV-B),
+- :mod:`repro.io.mscfile` — the output format of the merged MS complex
+  blocks: "a binary collection of all of the output blocks, followed by
+  a footer that provides an index to the MS complexes contained in the
+  file" (§IV-G).
+"""
+
+from repro.io.volume import VolumeSpec, write_volume, read_block, read_volume
+from repro.io.mscfile import write_msc_file, read_msc_file
+
+__all__ = [
+    "VolumeSpec",
+    "read_block",
+    "read_msc_file",
+    "read_volume",
+    "write_msc_file",
+    "write_volume",
+]

@@ -1,0 +1,116 @@
+"""Binary MS-complex block file with footer index (paper §IV-G).
+
+Layout::
+
+    [block 0 record][block 1 record]...[footer][footer_offset][magic]
+
+Each block record serializes one compacted MS complex payload (see
+:meth:`repro.morse.msc.MorseSmaleComplex.to_payload`) as a fixed header
+of section lengths followed by the raw array bytes.  The footer is an
+index of ``(block_id, offset, length)`` triples so that readers can seek
+to any block ("a footer that provides an index to the MS complexes
+contained in the file").  All integers are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["write_msc_file", "read_msc_file", "serialize_payload",
+           "deserialize_payload", "MAGIC"]
+
+MAGIC = b"MSC1"
+
+# payload sections in fixed order: (key, dtype)
+_SECTIONS = (
+    ("global_refined_dims", np.int64),
+    ("region", np.int64),
+    ("node_address", np.int64),
+    ("node_index", np.uint8),
+    ("node_value", np.float64),
+    ("node_boundary", np.bool_),
+    ("node_ghost", np.bool_),
+    ("arc_upper", np.int64),
+    ("arc_lower", np.int64),
+    ("arc_geom", np.int64),
+    ("geom_data", np.int64),
+    ("geom_offsets", np.int64),
+)
+
+
+def serialize_payload(payload: dict[str, np.ndarray]) -> bytes:
+    """Pack one MS complex payload into a block record."""
+    parts = [struct.pack("<I", len(_SECTIONS))]
+    blobs = []
+    for key, dtype in _SECTIONS:
+        arr = np.ascontiguousarray(payload[key], dtype=dtype)
+        blob = arr.tobytes()
+        parts.append(struct.pack("<Q", len(blob)))
+        blobs.append(blob)
+    return b"".join(parts) + b"".join(blobs)
+
+
+def deserialize_payload(record: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`serialize_payload`."""
+    (nsec,) = struct.unpack_from("<I", record, 0)
+    if nsec != len(_SECTIONS):
+        raise ValueError(
+            f"record has {nsec} sections, expected {len(_SECTIONS)}"
+        )
+    offset = 4
+    lengths = []
+    for _ in range(nsec):
+        (ln,) = struct.unpack_from("<Q", record, offset)
+        lengths.append(ln)
+        offset += 8
+    payload: dict[str, np.ndarray] = {}
+    for (key, dtype), ln in zip(_SECTIONS, lengths):
+        payload[key] = np.frombuffer(
+            record, dtype=dtype, count=ln // np.dtype(dtype).itemsize,
+            offset=offset,
+        ).copy()
+        offset += ln
+    return payload
+
+
+def write_msc_file(
+    path: str | Path, blocks: list[tuple[int, dict[str, np.ndarray]]]
+) -> int:
+    """Write MS complex blocks plus footer index; returns bytes written.
+
+    ``blocks`` holds ``(block_id, payload)`` pairs, typically one pair per
+    merged output block (processes with no output block contribute
+    nothing — the collective "null write").
+    """
+    index: list[tuple[int, int, int]] = []
+    with open(path, "wb") as f:
+        for block_id, payload in blocks:
+            record = serialize_payload(payload)
+            index.append((int(block_id), f.tell(), len(record)))
+            f.write(record)
+        footer_offset = f.tell()
+        f.write(struct.pack("<Q", len(index)))
+        for block_id, off, ln in index:
+            f.write(struct.pack("<qQQ", block_id, off, ln))
+        f.write(struct.pack("<Q", footer_offset))
+        f.write(MAGIC)
+        return f.tell()
+
+
+def read_msc_file(path: str | Path) -> dict[int, dict[str, np.ndarray]]:
+    """Read all MS complex blocks of a file, keyed by block id."""
+    data = Path(path).read_bytes()
+    if data[-4:] != MAGIC:
+        raise ValueError(f"{path}: not an MSC file (bad magic)")
+    (footer_offset,) = struct.unpack_from("<Q", data, len(data) - 12)
+    (count,) = struct.unpack_from("<Q", data, footer_offset)
+    out: dict[int, dict[str, np.ndarray]] = {}
+    pos = footer_offset + 8
+    for _ in range(count):
+        block_id, off, ln = struct.unpack_from("<qQQ", data, pos)
+        pos += 24
+        out[block_id] = deserialize_payload(data[off: off + ln])
+    return out

@@ -1,0 +1,103 @@
+"""Raw scalar volumes and per-block subarray reads (paper §IV-B).
+
+"Currently, we support unsigned byte, single-precision floating point,
+and double-precision floating point data sets.  We use an MPI-IO parallel
+read strategy whereby each process loops over its blocks, creates an MPI
+subarray data type for that block, sets an MPI file view using that
+datatype, and reads the block collectively."
+
+The on-disk layout is the conventional raw-volume order with x varying
+fastest.  :func:`read_block` is the virtual equivalent of the subarray
+read: it maps the file and gathers exactly the block's subarray (shared
+vertex layers included).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.grid import Box
+
+__all__ = ["VolumeSpec", "write_volume", "read_volume", "read_block"]
+
+#: dtypes supported by the paper's reader
+SUPPORTED_DTYPES = {
+    "uint8": np.uint8,
+    "float32": np.float32,
+    "float64": np.float64,
+}
+
+
+@dataclass(frozen=True)
+class VolumeSpec:
+    """Description of a raw volume file: path, vertex dims, sample dtype."""
+
+    path: str
+    dims: tuple[int, int, int]
+    dtype: str = "float32"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in SUPPORTED_DTYPES:
+            raise ValueError(
+                f"dtype {self.dtype!r} unsupported; "
+                f"choose from {sorted(SUPPORTED_DTYPES)}"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        return np.dtype(SUPPORTED_DTYPES[self.dtype])
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.dims)) * self.np_dtype.itemsize
+
+
+def write_volume(
+    path: str | Path, values: np.ndarray, dtype: str = "float32"
+) -> VolumeSpec:
+    """Write a vertex array (indexed ``[i, j, k]``) as a raw volume file."""
+    if dtype not in SUPPORTED_DTYPES:
+        raise ValueError(f"dtype {dtype!r} unsupported")
+    values = np.asarray(values)
+    if values.ndim != 3:
+        raise ValueError("volume must be 3D")
+    out = values.astype(SUPPORTED_DTYPES[dtype])
+    # x fastest on disk
+    out.ravel(order="F").tofile(str(path))
+    return VolumeSpec(str(path), tuple(values.shape), dtype)
+
+
+def read_volume(spec: VolumeSpec) -> np.ndarray:
+    """Read a whole raw volume into a float64 vertex array."""
+    data = np.fromfile(spec.path, dtype=spec.np_dtype)
+    expected = int(np.prod(spec.dims))
+    if data.size != expected:
+        raise ValueError(
+            f"{spec.path}: expected {expected} samples, found {data.size}"
+        )
+    return data.reshape(spec.dims, order="F").astype(np.float64)
+
+
+def read_block(spec: VolumeSpec, box: Box) -> np.ndarray:
+    """Subarray read of one block (the virtual MPI-IO file view).
+
+    Returns the block's vertex values as float64, shape ``box.shape``.
+    Only the block's bytes are gathered (via a memory map), mirroring the
+    access pattern of the MPI subarray type.
+    """
+    for l, h, n in zip(box.lo, box.hi, spec.dims):
+        if l < 0 or h > n:
+            raise ValueError(f"{box} exceeds volume dims {spec.dims}")
+    mm = np.memmap(spec.path, dtype=spec.np_dtype, mode="r")
+    expected = int(np.prod(spec.dims))
+    if mm.size != expected:
+        raise ValueError(
+            f"{spec.path}: expected {expected} samples, found {mm.size}"
+        )
+    vol = mm.reshape(spec.dims, order="F")
+    block = np.array(vol[box.slices()], dtype=np.float64)
+    del mm
+    return block

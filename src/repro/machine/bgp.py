@@ -1,0 +1,62 @@
+"""Blue Gene/P "Intrepid" machine parameters.
+
+Interconnect and I/O figures follow the published Blue Gene/P
+architecture (425 MB/s per torus link, few-microsecond MPI latency,
+PVFS storage measured in the tens of GB/s in aggregate).  The per-cell
+algorithmic rates cannot be measured on the original hardware, so they
+are calibrated such that the virtual times of the Jet mixture-fraction
+benchmark land in the magnitude range the paper reports (~970 s end to
+end at 32 processes for a 768x896x512 volume, i.e. roughly 10^5 refined
+cells per second per 850 MHz PowerPC core for the combined
+gradient+trace+simplify compute stage).  All conclusions drawn from the
+model are shape conclusions (scaling slopes, crossovers, rankings), which
+are insensitive to the absolute calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BlueGenePParams"]
+
+
+@dataclass(frozen=True)
+class BlueGenePParams:
+    """Tunable constants of the virtual Blue Gene/P."""
+
+    # ---- interconnect --------------------------------------------------
+    #: payload bandwidth of one torus link, bytes/second
+    link_bandwidth: float = 425e6
+    #: point-to-point software/injection latency, seconds
+    latency: float = 3.5e-6
+    #: additional per-hop router latency, seconds
+    hop_latency: float = 1.0e-7
+
+    # ---- compute stage (per 850 MHz core) ------------------------------
+    #: refined grid cells processed per second by the gradient sweep
+    gradient_cells_per_second: float = 4.0e5
+    #: V-path geometry cells traced per second
+    trace_cells_per_second: float = 2.0e6
+    #: cancellation operations per second (simplification)
+    cancellations_per_second: float = 2.0e4
+    #: MS complex elements (nodes+arcs) glued per second during a merge
+    glue_elements_per_second: float = 5.0e5
+    #: bytes per second for packing/unpacking complexes around messages
+    pack_bandwidth: float = 2.0e8
+
+    # ---- storage --------------------------------------------------------
+    #: per-process I/O bandwidth to the parallel filesystem, bytes/second
+    io_per_process_bandwidth: float = 50e6
+    #: aggregate filesystem bandwidth cap, bytes/second
+    io_aggregate_bandwidth: float = 8e9
+    #: fixed cost of a collective file open/close, seconds
+    io_startup: float = 0.15
+    #: per-process metadata/contention cost of a collective I/O op, seconds
+    io_per_process_overhead: float = 1.0e-4
+
+    def io_bandwidth(self, num_procs: int) -> float:
+        """Effective aggregate bandwidth for a collective I/O operation."""
+        return min(
+            num_procs * self.io_per_process_bandwidth,
+            self.io_aggregate_bandwidth,
+        )

@@ -1,0 +1,505 @@
+"""The 1-skeleton of a Morse-Smale complex (paper §IV-D).
+
+Nodes are critical cells, arcs are V-paths connecting critical cells
+differing in dimension by one, and every arc carries a *geometry object*
+— the list of (global) cell addresses of the cells along its V-path.
+Following the data structure of Gyulassy et al. [11], nodes, arcs and
+geometry objects are constant-sized records in flat arrays, optimized for
+efficient simplification:
+
+- cancelling a pair of nodes marks records dead rather than moving memory,
+- new arcs created by a cancellation reference the geometry objects of
+  the deleted arcs ("the geometry of the new arcs is inherited from the
+  deleted arcs ... a new geometry object is created that references the
+  geometry objects that were merged"),
+- :meth:`MorseSmaleComplex.compact` performs the paper's
+  pre-communication cleanup (§IV-F1): dead records are dropped, composite
+  geometries are flattened, and only the living (coarsest) level of the
+  hierarchy is retained.
+
+Node identity across blocks is the cell's global address, which encodes
+its geometric location in the global refined grid; gluing two block
+complexes matches boundary nodes by address (§IV-F3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ArcGeometry", "MorseSmaleComplex", "NODE_RECORD_BYTES",
+           "ARC_RECORD_BYTES", "GEOM_ADDRESS_BYTES"]
+
+#: Serialized record sizes, used for output-size accounting (§V-B): the
+#: paper models MS complex storage as ``k*c + k*n^(1/3)`` where ``c`` is
+#: the constant per-node/arc record cost and the second term is geometry.
+NODE_RECORD_BYTES = 8 + 1 + 8 + 1  # address, index, value, boundary flag
+ARC_RECORD_BYTES = 4 + 4 + 8  # two node ids + geometry offset
+GEOM_ADDRESS_BYTES = 8
+
+
+@dataclass
+class ArcGeometry:
+    """Geometric embedding of an arc.
+
+    ``leaf`` holds the V-path cell addresses ordered from the arc's upper
+    node to its lower node.  A *composite* geometry (created by
+    cancellation) instead references child geometries as
+    ``(geometry id, reversed)`` segments; it is flattened into a leaf by
+    :meth:`MorseSmaleComplex.compact`.
+    """
+
+    leaf: np.ndarray | None = None
+    segments: list[tuple[int, bool]] | None = None
+    #: total number of cell addresses (cached; junction duplicates counted)
+    length: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.leaf is not None
+
+
+@dataclass
+class Cancellation:
+    """Record of one persistence cancellation, for hierarchy queries.
+
+    The id lists refer to the complex *before* compaction; they let
+    :class:`repro.analysis.hierarchy.MSComplexHierarchy` reconstruct the
+    complex at any persistence level (multi-resolution queries).
+    """
+
+    persistence: float
+    upper_address: int
+    lower_address: int
+    upper_index: int  # Morse index of the upper (destroyed) node
+    arcs_removed: int
+    arcs_created: int
+    killed_nodes: list[int] = field(default_factory=list)
+    killed_arcs: list[int] = field(default_factory=list)
+    created_arcs: list[int] = field(default_factory=list)
+
+
+class MorseSmaleComplex:
+    """Flat-array 1-skeleton of a (block-local or merged) MS complex.
+
+    Parameters
+    ----------
+    global_refined_dims:
+        Refined extents of the whole dataset; node addresses index this
+        grid.
+    region_lo, region_hi:
+        Vertex box (half-open) of the dataset region this complex covers.
+        Grows as complexes are merged; used to recompute boundary flags.
+    """
+
+    def __init__(
+        self,
+        global_refined_dims: tuple[int, int, int],
+        region_lo: tuple[int, int, int] = (0, 0, 0),
+        region_hi: tuple[int, int, int] | None = None,
+    ) -> None:
+        self.global_refined_dims = tuple(int(d) for d in global_refined_dims)
+        self.region_lo = tuple(int(c) for c in region_lo)
+        if region_hi is None:
+            region_hi = tuple((d + 1) // 2 for d in self.global_refined_dims)
+        self.region_hi = tuple(int(c) for c in region_hi)
+
+        # node records
+        self.node_address: list[int] = []
+        self.node_index: list[int] = []  # Morse index (= cell dimension)
+        self.node_value: list[float] = []
+        self.node_boundary: list[bool] = []
+        #: ghost nodes are remote-endpoint placeholders introduced by the
+        #: global-simplification split (§VII-B extension): they belong to
+        #: another block, are never cancelled here, and are not counted
+        #: as this block's features
+        self.node_ghost: list[bool] = []
+        self.node_alive: list[bool] = []
+        self.node_arcs: list[list[int]] = []  # incident arc ids (lazy-pruned)
+
+        # arc records: upper node has index d, lower node index d-1
+        self.arc_upper: list[int] = []
+        self.arc_lower: list[int] = []
+        self.arc_geom: list[int] = []
+        self.arc_alive: list[bool] = []
+
+        self.geoms: list[ArcGeometry] = []
+
+        #: living-arc multiplicity per node pair, keyed (min id, max id).
+        #: Maintained by add_arc only: arcs die only when an endpoint
+        #: dies, so for a *living* pair the count equals the alive-arc
+        #: multiplicity, which is all the simplifier ever consults.
+        self.pair_multiplicity: dict[tuple[int, int], int] = {}
+
+        #: cancellations applied so far (coarsest-last); compact() keeps it
+        self.hierarchy: list[Cancellation] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        address: int,
+        index: int,
+        value: float,
+        boundary: bool = False,
+        ghost: bool = False,
+    ) -> int:
+        """Append a node record; returns its id."""
+        if not 0 <= index <= 3:
+            raise ValueError(f"Morse index must be 0..3, got {index}")
+        nid = len(self.node_address)
+        self.node_address.append(int(address))
+        self.node_index.append(int(index))
+        self.node_value.append(float(value))
+        self.node_boundary.append(bool(boundary))
+        self.node_ghost.append(bool(ghost))
+        self.node_alive.append(True)
+        self.node_arcs.append([])
+        return nid
+
+    def new_leaf_geometry(self, addresses: np.ndarray) -> int:
+        """Register a leaf geometry object; returns its id."""
+        arr = np.asarray(addresses, dtype=np.int64)
+        gid = len(self.geoms)
+        self.geoms.append(ArcGeometry(leaf=arr, length=int(arr.size)))
+        return gid
+
+    def new_composite_geometry(self, segments: list[tuple[int, bool]]) -> int:
+        """Register a composite geometry referencing child geometries."""
+        length = sum(self.geoms[g].length for g, _ in segments)
+        gid = len(self.geoms)
+        self.geoms.append(ArcGeometry(segments=list(segments), length=length))
+        return gid
+
+    def add_arc(self, upper: int, lower: int, geom: int) -> int:
+        """Append an arc between nodes ``upper`` (index d) and ``lower`` (d-1)."""
+        if self.node_index[upper] != self.node_index[lower] + 1:
+            raise ValueError(
+                "arc endpoints must differ in Morse index by exactly 1 "
+                f"(got {self.node_index[upper]} and {self.node_index[lower]})"
+            )
+        aid = len(self.arc_upper)
+        self.arc_upper.append(upper)
+        self.arc_lower.append(lower)
+        self.arc_geom.append(geom)
+        self.arc_alive.append(True)
+        self.node_arcs[upper].append(aid)
+        self.node_arcs[lower].append(aid)
+        key = (upper, lower) if upper < lower else (lower, upper)
+        self.pair_multiplicity[key] = (
+            self.pair_multiplicity.get(key, 0) + 1
+        )
+        return aid
+
+    def multiplicity(self, u: int, v: int) -> int:
+        """Number of living arcs between two living nodes."""
+        key = (u, v) if u < v else (v, u)
+        return self.pair_multiplicity.get(key, 0)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def alive_nodes(self) -> list[int]:
+        """Ids of living nodes."""
+        return [i for i, a in enumerate(self.node_alive) if a]
+
+    def alive_arcs(self) -> list[int]:
+        """Ids of living arcs."""
+        return [i for i, a in enumerate(self.arc_alive) if a]
+
+    def num_alive_nodes(self) -> int:
+        return sum(self.node_alive)
+
+    def num_alive_arcs(self) -> int:
+        return sum(self.arc_alive)
+
+    def incident_arcs(self, nid: int) -> list[int]:
+        """Living arcs incident to node ``nid`` (prunes dead entries in place)."""
+        arcs = [a for a in self.node_arcs[nid] if self.arc_alive[a]]
+        self.node_arcs[nid] = arcs
+        return list(arcs)
+
+    def other_endpoint(self, aid: int, nid: int) -> int:
+        """The endpoint of arc ``aid`` that is not ``nid``."""
+        u, l = self.arc_upper[aid], self.arc_lower[aid]
+        if nid == u:
+            return l
+        if nid == l:
+            return u
+        raise ValueError(f"node {nid} is not an endpoint of arc {aid}")
+
+    def arcs_between(self, u: int, v: int) -> list[int]:
+        """Living arcs connecting nodes ``u`` and ``v``."""
+        base = u if len(self.node_arcs[u]) <= len(self.node_arcs[v]) else v
+        other = v if base == u else u
+        return [
+            a
+            for a in self.incident_arcs(base)
+            if self.other_endpoint(a, base) == other
+        ]
+
+    def persistence(self, aid: int) -> float:
+        """Absolute function-value difference of the arc's endpoints."""
+        return abs(
+            self.node_value[self.arc_upper[aid]]
+            - self.node_value[self.arc_lower[aid]]
+        )
+
+    def node_counts_by_index(self) -> tuple[int, int, int, int]:
+        """Living node counts as (minima, 1-saddles, 2-saddles, maxima).
+
+        Ghost nodes are excluded: they are another block's features.
+        """
+        counts = [0, 0, 0, 0]
+        for i, alive in enumerate(self.node_alive):
+            if alive and not self.node_ghost[i]:
+                counts[self.node_index[i]] += 1
+        return tuple(counts)
+
+    def euler_characteristic(self) -> int:
+        """Alternating sum of living node counts (= region Euler number)."""
+        c0, c1, c2, c3 = self.node_counts_by_index()
+        return c0 - c1 + c2 - c3
+
+    def address_index(self) -> dict[int, int]:
+        """Map global address -> node id over living nodes."""
+        return {
+            self.node_address[i]: i
+            for i, alive in enumerate(self.node_alive)
+            if alive
+        }
+
+    def geometry_addresses(self, aid: int) -> np.ndarray:
+        """Expanded V-path addresses of arc ``aid``, upper node to lower."""
+        return self._expand_geometry(self.arc_geom[aid])
+
+    def _expand_geometry(self, gid: int) -> np.ndarray:
+        """Flatten a (possibly composite) geometry into one address array.
+
+        Iterative: cancellation chains nest composites arbitrarily deep,
+        far beyond the interpreter recursion limit.
+        """
+        parts: list[np.ndarray] = []
+        stack: list[tuple[int, bool]] = [(gid, False)]
+        while stack:
+            g, rev = stack.pop()
+            geo = self.geoms[g]
+            if geo.is_leaf:
+                parts.append(geo.leaf[::-1] if rev else geo.leaf)
+            else:
+                segs = geo.segments if rev else geo.segments[::-1]
+                # pushed in reverse so children pop in emission order
+                for child, crev in segs:
+                    stack.append((child, crev != rev))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        out = [parts[0]]
+        for seg in parts[1:]:
+            # drop duplicated junction cell between consecutive segments
+            if out[-1].size and seg.size and out[-1][-1] == seg[0]:
+                seg = seg[1:]
+            out.append(seg)
+        return np.concatenate(out)
+
+    def total_geometry_length(self) -> int:
+        """Total stored V-path cell count over living arcs."""
+        return sum(
+            self.geoms[self.arc_geom[a]].length
+            for a, alive in enumerate(self.arc_alive)
+            if alive
+        )
+
+    def nbytes(self) -> int:
+        """Serialized size estimate (paper §V-B: ``k*c + geometry``)."""
+        return (
+            self.num_alive_nodes() * NODE_RECORD_BYTES
+            + self.num_alive_arcs() * ARC_RECORD_BYTES
+            + self.total_geometry_length() * GEOM_ADDRESS_BYTES
+        )
+
+    def summary(self) -> str:
+        """Human-readable one-line summary of the living complex."""
+        c0, c1, c2, c3 = self.node_counts_by_index()
+        return (
+            f"MS complex: {self.num_alive_nodes()} nodes "
+            f"(min={c0}, 1sad={c1}, 2sad={c2}, max={c3}), "
+            f"{self.num_alive_arcs()} arcs, "
+            f"geometry={self.total_geometry_length()} cells, "
+            f"~{self.nbytes()} bytes"
+        )
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def kill_node(self, nid: int) -> None:
+        """Mark a node dead (its arcs must be killed by the caller)."""
+        self.node_alive[nid] = False
+
+    def kill_arc(self, aid: int) -> None:
+        """Mark an arc dead."""
+        self.arc_alive[aid] = False
+
+    def compact(self) -> None:
+        """Drop dead records and flatten composite geometries (§IV-F1).
+
+        This is the paper's "cleaning up the memory after computing the
+        simplified MS complex": only living elements survive, and each
+        living arc's geometry becomes a single concrete address array.
+        The cancellation hierarchy (a list of address-based records) is
+        preserved for analysis queries.
+        """
+        node_map = {}
+        new_addr, new_idx, new_val, new_bnd, new_ghost = [], [], [], [], []
+        for i, alive in enumerate(self.node_alive):
+            if alive:
+                node_map[i] = len(new_addr)
+                new_addr.append(self.node_address[i])
+                new_idx.append(self.node_index[i])
+                new_val.append(self.node_value[i])
+                new_bnd.append(self.node_boundary[i])
+                new_ghost.append(self.node_ghost[i])
+
+        new_up, new_lo, new_geom = [], [], []
+        new_geoms: list[ArcGeometry] = []
+        for a, alive in enumerate(self.arc_alive):
+            if not alive:
+                continue
+            flat = self._expand_geometry(self.arc_geom[a])
+            gid = len(new_geoms)
+            new_geoms.append(ArcGeometry(leaf=flat, length=int(flat.size)))
+            new_up.append(node_map[self.arc_upper[a]])
+            new_lo.append(node_map[self.arc_lower[a]])
+            new_geom.append(gid)
+
+        self.node_address = new_addr
+        self.node_index = new_idx
+        self.node_value = new_val
+        self.node_boundary = new_bnd
+        self.node_ghost = new_ghost
+        self.node_alive = [True] * len(new_addr)
+        self.node_arcs = [[] for _ in new_addr]
+        self.arc_upper, self.arc_lower = new_up, new_lo
+        self.arc_geom = new_geom
+        self.arc_alive = [True] * len(new_up)
+        self.geoms = new_geoms
+        self.pair_multiplicity = {}
+        for aid in range(len(new_up)):
+            u, l = new_up[aid], new_lo[aid]
+            self.node_arcs[u].append(aid)
+            self.node_arcs[l].append(aid)
+            key = (u, l) if u < l else (l, u)
+            self.pair_multiplicity[key] = (
+                self.pair_multiplicity.get(key, 0) + 1
+            )
+
+    def update_boundary_flags(self, cut_planes) -> int:
+        """Recompute node boundary flags from the remaining cut planes.
+
+        After a merge round removes cut planes interior to the merged
+        region, "the boundary status of each node is updated according to
+        the bounds of the merged blocks.  The newly interior nodes become
+        candidates for cancellation" (§IV-F3).  Returns the number of
+        nodes whose flag changed from boundary to interior.
+        """
+        gx, gy, _gz = self.global_refined_dims
+        tables = []
+        for axis in range(3):
+            table = np.zeros(self.global_refined_dims[axis], dtype=bool)
+            planes = np.asarray(cut_planes[axis], dtype=np.int64)
+            if planes.size:
+                table[planes] = True
+            tables.append(table)
+        freed = 0
+        for i, alive in enumerate(self.node_alive):
+            if not alive or self.node_ghost[i]:
+                continue  # ghosts keep their protection unconditionally
+            addr = self.node_address[i]
+            ci = addr % gx
+            cj = (addr // gx) % gy
+            ck = addr // (gx * gy)
+            on_boundary = bool(
+                tables[0][ci] or tables[1][cj] or tables[2][ck]
+            )
+            if self.node_boundary[i] and not on_boundary:
+                freed += 1
+            self.node_boundary[i] = on_boundary
+        return freed
+
+    # ------------------------------------------------------------------
+    # serialization (consumed by repro.io.mscfile and the merge stage)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict[str, np.ndarray]:
+        """Pack the living complex into flat numpy arrays.
+
+        Requires a compacted complex (call :meth:`compact` first): every
+        geometry must be a leaf so the payload is a fixed set of arrays.
+        """
+        for g in self.geoms:
+            if not g.is_leaf:
+                raise ValueError("to_payload requires a compacted complex")
+        geom_data = (
+            np.concatenate([g.leaf for g in self.geoms])
+            if self.geoms
+            else np.empty(0, dtype=np.int64)
+        )
+        geom_offsets = np.zeros(len(self.geoms) + 1, dtype=np.int64)
+        for i, g in enumerate(self.geoms):
+            geom_offsets[i + 1] = geom_offsets[i] + g.leaf.size
+        return {
+            "global_refined_dims": np.asarray(
+                self.global_refined_dims, dtype=np.int64
+            ),
+            "region": np.asarray(
+                self.region_lo + self.region_hi, dtype=np.int64
+            ),
+            "node_address": np.asarray(self.node_address, dtype=np.int64),
+            "node_index": np.asarray(self.node_index, dtype=np.uint8),
+            "node_value": np.asarray(self.node_value, dtype=np.float64),
+            "node_boundary": np.asarray(self.node_boundary, dtype=bool),
+            "node_ghost": np.asarray(self.node_ghost, dtype=bool),
+            "arc_upper": np.asarray(self.arc_upper, dtype=np.int64),
+            "arc_lower": np.asarray(self.arc_lower, dtype=np.int64),
+            "arc_geom": np.asarray(self.arc_geom, dtype=np.int64),
+            "geom_data": geom_data,
+            "geom_offsets": geom_offsets,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, np.ndarray]) -> "MorseSmaleComplex":
+        """Inverse of :meth:`to_payload`."""
+        dims = tuple(int(d) for d in payload["global_refined_dims"])
+        region = [int(c) for c in payload["region"]]
+        msc = cls(dims, tuple(region[:3]), tuple(region[3:]))
+        ghosts = payload.get("node_ghost")
+        if ghosts is None:
+            ghosts = np.zeros(len(payload["node_address"]), dtype=bool)
+        for addr, idx, val, bnd, gho in zip(
+            payload["node_address"],
+            payload["node_index"],
+            payload["node_value"],
+            payload["node_boundary"],
+            ghosts,
+        ):
+            msc.add_node(
+                int(addr), int(idx), float(val), bool(bnd), bool(gho)
+            )
+        offs = payload["geom_offsets"]
+        data = payload["geom_data"]
+        gid_map = [
+            msc.new_leaf_geometry(data[offs[i]: offs[i + 1]])
+            for i in range(len(offs) - 1)
+        ]
+        for u, l, g in zip(
+            payload["arc_upper"], payload["arc_lower"], payload["arc_geom"]
+        ):
+            msc.add_arc(int(u), int(l), gid_map[int(g)])
+        return msc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{self.summary()}>"

@@ -1,0 +1,192 @@
+"""Persistence-based simplification of the MS complex (paper §IV-E).
+
+"A function f is simplified by repeated cancellation of pairs of critical
+points that differ in index by one. ... A cancellation removes two nodes
+and the arcs connecting them from the MS complex, and creates new arcs
+reconnecting nodes in their neighborhood.  Persistence ... is computed as
+the absolute difference in function value of the canceled pair of nodes.
+Repeated application of the cancellation operation in order of persistence
+results in a hierarchy of MS complexes."
+
+Cancellation validity follows the standard combinatorial rules:
+
+- the two nodes must be connected by *exactly one* living arc (reversing
+  a non-unique V-path would create a gradient cycle),
+- in the parallel setting, arcs with a boundary endpoint are never
+  cancelled (§IV-E): boundary nodes are the "handles" needed for gluing.
+
+New arcs created by a cancellation of pair ``(U, L)`` connect every other
+upper neighbor ``y`` of ``L`` to every other lower neighbor ``x`` of
+``U``; their geometry is the composite path ``y -> L -> U -> x`` built
+from the three deleted arcs' geometry objects.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.morse.msc import Cancellation, MorseSmaleComplex
+
+__all__ = ["simplify_ms_complex", "Cancellation"]
+
+
+def simplify_ms_complex(
+    msc: MorseSmaleComplex,
+    threshold: float,
+    respect_boundary: bool = True,
+    max_cancellations: int | None = None,
+    max_new_arcs: int | None = None,
+    max_arc_multiplicity: int | None = 4,
+) -> list[Cancellation]:
+    """Cancel node pairs in order of persistence up to ``threshold``.
+
+    Parameters
+    ----------
+    msc:
+        Complex to simplify in place.
+    threshold:
+        Maximum persistence (absolute value difference) to cancel.  The
+        input threshold "determines how far the simplification will
+        proceed".
+    respect_boundary:
+        When True (the parallel per-block setting), arcs with a boundary
+        endpoint are not cancellation candidates.  Serial simplification
+        passes False.
+    max_cancellations:
+        Optional cap, mainly for tests and incremental hierarchies.
+    max_new_arcs:
+        Optional guard against quadratic blow-up: a cancellation that
+        would create more than this many arcs is skipped permanently
+        (node degrees only grow, so it can never become cheaper).  The
+        default (None) performs exact simplification.  Ties in
+        persistence are always broken toward the cheaper cancellation,
+        which curbs hub formation on plateau-heavy data.
+    max_arc_multiplicity:
+        Cap on parallel arcs kept between one node pair.  A cancellation
+        that would push a pair's multiplicity beyond the cap does not
+        materialize the extra copies.  Because cancellation validity
+        only distinguishes multiplicity 1 from >= 2, and multiplicity
+        between living nodes never decreases, any cap >= 2 provably
+        leaves the *surviving critical points* (and the hierarchy of
+        node cancellations) identical to the exact computation — only
+        redundant parallel arc copies (and their geometry) are dropped.
+        Noisy data drives quadratic parallel-arc growth without this
+        cap; pass ``None`` for the exact full arc multiset.
+
+    Returns
+    -------
+    The list of cancellations performed, in order (appended to
+    ``msc.hierarchy`` as well).
+    """
+    if threshold < 0:
+        raise ValueError("persistence threshold must be non-negative")
+    if max_arc_multiplicity is not None and max_arc_multiplicity < 2:
+        raise ValueError(
+            "max_arc_multiplicity must be >= 2 (1 would change which "
+            "pairs are cancellable)"
+        )
+
+    heap: list[tuple[float, int, int, int]] = []
+    counter = 0
+
+    def push(aid: int) -> None:
+        # tie-break equal persistences by an (inexpensive, push-time)
+        # estimate of how many arcs the cancellation would create; this
+        # keeps plateau sweeps from repeatedly feeding high-degree hubs
+        nonlocal counter
+        cost = len(msc.node_arcs[msc.arc_upper[aid]]) * len(
+            msc.node_arcs[msc.arc_lower[aid]]
+        )
+        heapq.heappush(
+            heap, (msc.persistence(aid), cost, counter, aid)
+        )
+        counter += 1
+
+    for aid in msc.alive_arcs():
+        push(aid)
+
+    performed: list[Cancellation] = []
+    while heap:
+        if max_cancellations is not None and len(performed) >= max_cancellations:
+            break
+        pers, _, _, aid = heapq.heappop(heap)
+        if pers > threshold:
+            break
+        if not msc.arc_alive[aid]:
+            continue
+        upper, lower = msc.arc_upper[aid], msc.arc_lower[aid]
+        if not (msc.node_alive[upper] and msc.node_alive[lower]):
+            continue
+        if msc.node_ghost[upper] or msc.node_ghost[lower]:
+            continue  # remote placeholders are never cancelled locally
+        if respect_boundary and (
+            msc.node_boundary[upper] or msc.node_boundary[lower]
+        ):
+            continue
+        # unique-connection requirement; multiplicity between a living
+        # pair never decreases, so skipped arcs need not be re-queued
+        if len(msc.arcs_between(upper, lower)) != 1:
+            continue
+        if max_new_arcs is not None:
+            up = len(msc.incident_arcs(lower)) - 1
+            down = len(msc.incident_arcs(upper)) - 1
+            if up * down > max_new_arcs:
+                continue  # degrees only grow: skip permanently
+
+        created_ids, killed_ids = _cancel(
+            msc, aid, upper, lower, push, max_arc_multiplicity
+        )
+        record = Cancellation(
+            persistence=pers,
+            upper_address=msc.node_address[upper],
+            lower_address=msc.node_address[lower],
+            upper_index=msc.node_index[upper],
+            arcs_removed=len(killed_ids),
+            arcs_created=len(created_ids),
+            killed_nodes=[upper, lower],
+            killed_arcs=killed_ids,
+            created_arcs=created_ids,
+        )
+        msc.hierarchy.append(record)
+        performed.append(record)
+    return performed
+
+
+def _cancel(
+    msc: MorseSmaleComplex, aid, upper, lower, push, max_multiplicity
+) -> tuple[list[int], list[int]]:
+    """Apply one cancellation; returns (created arc ids, killed arc ids)."""
+    upper_arcs = [a for a in msc.incident_arcs(upper) if a != aid]
+    lower_arcs = [a for a in msc.incident_arcs(lower) if a != aid]
+
+    # arcs U -> x (x of index d-1, x != L) and y -> L (y of index d)
+    down_from_upper = [a for a in upper_arcs if msc.arc_upper[a] == upper]
+    up_from_lower = [a for a in lower_arcs if msc.arc_lower[a] == lower]
+
+    created: list[int] = []
+    for p in up_from_lower:
+        y = msc.arc_upper[p]
+        for q in down_from_upper:
+            x = msc.arc_lower[q]
+            if (
+                max_multiplicity is not None
+                and msc.multiplicity(y, x) >= max_multiplicity
+            ):
+                continue  # redundant parallel copy; see docstring
+            gid = msc.new_composite_geometry(
+                [
+                    (msc.arc_geom[p], False),  # y -> L
+                    (msc.arc_geom[aid], True),  # L -> U (reversed arc)
+                    (msc.arc_geom[q], False),  # U -> x
+                ]
+            )
+            new_aid = msc.add_arc(y, x, gid)
+            push(new_aid)
+            created.append(new_aid)
+
+    killed = [aid] + upper_arcs + lower_arcs
+    for a in killed:
+        msc.kill_arc(a)
+    msc.kill_node(upper)
+    msc.kill_node(lower)
+    return created, killed

@@ -1,0 +1,113 @@
+"""One-byte-per-cell storage of a discrete gradient vector field.
+
+Matches the paper's storage scheme (§IV-C): the refined grid "stores the
+discrete gradient pairing, criticality, and additional temporary values
+compactly in one byte per element".  Each valid cell holds one of:
+
+- a direction code 0..5: the cell is paired with its facet/cofacet
+  neighbor one step along ``(+x, -x, +y, -y, +z, -z)`` respectively
+  (whether the neighbor is the head or the tail follows from the two
+  cells' dimensions),
+- ``CRITICAL`` (6): the cell is unpaired, i.e. a critical cell,
+- ``UNASSIGNED`` (7): not yet processed (only during construction),
+- ``SENTINEL`` (255): padding outside the block.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.cubical import CubicalComplex
+
+__all__ = ["GradientField", "CRITICAL", "UNASSIGNED", "SENTINEL"]
+
+CRITICAL = 6
+UNASSIGNED = 7
+SENTINEL = 255
+
+
+class GradientField:
+    """A discrete gradient vector field over a block's cubical complex.
+
+    Instances are produced by
+    :func:`repro.morse.gradient.compute_discrete_gradient`; the class
+    itself only provides queries over the packed byte array.
+    """
+
+    def __init__(self, complex_: CubicalComplex, pairing: np.ndarray) -> None:
+        if pairing.shape != (complex_.num_padded,):
+            raise ValueError("pairing array does not match the complex")
+        self.complex = complex_
+        #: uint8 per padded cell; see module docstring for the encoding
+        self.pairing = pairing
+        #: flat-offset per direction code (x fastest, matching the mesh)
+        sx, sy, sz = complex_.steps
+        self.dir_offsets = (sx, -sx, sy, -sy, sz, -sz)
+
+    # -- queries --------------------------------------------------------
+
+    def is_critical(self, p: int) -> bool:
+        """Whether padded cell index ``p`` is a critical cell."""
+        return self.pairing[p] == CRITICAL
+
+    def pair_of(self, p: int) -> int:
+        """Padded index of the cell paired with ``p`` (undefined if critical)."""
+        code = self.pairing[p]
+        if code >= CRITICAL:
+            raise ValueError(f"cell {p} is not paired (code {code})")
+        return p + self.dir_offsets[code]
+
+    def critical_cells(self) -> np.ndarray:
+        """Padded indices of all critical cells, in SoS order per dimension."""
+        crit = self.pairing == CRITICAL
+        out = []
+        for d in range(4):
+            cells = self.complex.cells_by_dim[d]
+            out.append(cells[crit[cells]])
+        return np.concatenate(out)
+
+    def critical_cells_by_dim(self) -> tuple[np.ndarray, ...]:
+        """Critical padded indices split by cell dimension (index)."""
+        crit = self.pairing == CRITICAL
+        return tuple(
+            cells[crit[cells]] for cells in self.complex.cells_by_dim
+        )
+
+    def critical_counts(self) -> tuple[int, int, int, int]:
+        """Counts of (minima, 1-saddles, 2-saddles, maxima)."""
+        return tuple(len(c) for c in self.critical_cells_by_dim())
+
+    def morse_euler_characteristic(self) -> int:
+        """Alternating sum of critical cell counts.
+
+        For a discrete gradient field on a full block (a contractible box)
+        this must equal 1 — the block's Euler characteristic.  The tests
+        use this as the primary structural invariant.
+        """
+        c0, c1, c2, c3 = self.critical_counts()
+        return c0 - c1 + c2 - c3
+
+    def assert_complete(self) -> None:
+        """Raise if any valid cell is still unassigned or inconsistently paired."""
+        valid = self.complex.valid
+        codes = self.pairing[valid]
+        if np.any(codes == UNASSIGNED):
+            raise AssertionError("gradient field has unassigned cells")
+        # mutual pairing: the pair of a paired cell points back
+        paired = np.flatnonzero(valid & (self.pairing < CRITICAL))
+        offs = np.asarray(self.dir_offsets, dtype=np.int64)
+        partner = paired + offs[self.pairing[paired]]
+        if np.any(self.pairing[partner] >= CRITICAL):
+            raise AssertionError(
+                "paired cell points at a critical/unassigned/sentinel cell"
+            )
+        back = partner + offs[self.pairing[partner]]
+        if not np.array_equal(back, paired):
+            raise AssertionError("gradient pairing is not mutual")
+        dims = self.complex.cell_dim
+        if np.any(np.abs(dims[paired].astype(int) - dims[partner].astype(int)) != 1):
+            raise AssertionError("paired cells must differ in dimension by 1")
+
+    def nbytes(self) -> int:
+        """Storage footprint of the packed field (1 byte per element)."""
+        return int(self.pairing.nbytes)

@@ -1,0 +1,38 @@
+"""Virtual distributed-memory substrate.
+
+The paper's implementation is MPI on an IBM Blue Gene/P.  The execution
+environment of this reproduction has no MPI, so this subpackage provides
+a deterministic virtual equivalent:
+
+- :mod:`repro.parallel.decomposition` — bisection domain decomposition
+  and block-cyclic process assignment (§IV-A),
+- :mod:`repro.parallel.radixk` — configurable merge-round schedules
+  (rounds × radix, §IV-F2), modeled on the Radix-k compositing algorithm,
+- :mod:`repro.parallel.comm` — message-passing primitives and collectives
+  expressed as coroutine requests,
+- :mod:`repro.parallel.runtime` — the :class:`VirtualMPI` scheduler that
+  executes SPMD rank programs (generators) with deterministic delivery,
+  deadlock detection, and a byte-accurate message log for the machine
+  model,
+- :mod:`repro.parallel.mpibackend` — the mpi4py adapter that runs the
+  *same* rank programs on a real MPI cluster.
+
+The rank programs exercise exactly the communication structure a real
+MPI run would (point-to-point merge-group sends, barriers, gathers); only
+the transport is simulated — or real, with the MPI backend.
+"""
+
+from repro.parallel.decomposition import BlockDecomposition, decompose
+from repro.parallel.radixk import MergeSchedule, MergeRound, full_merge_radices
+from repro.parallel.runtime import VirtualMPI
+from repro.parallel.comm import Comm
+
+__all__ = [
+    "BlockDecomposition",
+    "Comm",
+    "MergeRound",
+    "MergeSchedule",
+    "VirtualMPI",
+    "decompose",
+    "full_merge_radices",
+]

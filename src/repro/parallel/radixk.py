@@ -1,0 +1,194 @@
+"""Configurable merge-round schedules (paper §IV-F2).
+
+"Our merge algorithm is inspired by this idea of specifying the number of
+rounds and radix of each round ... We restrict merge groups to contain
+two, four, or eight members (radix-2, radix-4, or radix-8). ... we
+designate one member of the group as the 'root', and the remaining group
+members send all of their information to the root of the group. ...  The
+number of resulting MS complex blocks after merging is the number of
+input blocks divided by the product of radices in each merge round."
+
+Groups must be *spatially contiguous* boxes of blocks so that the merged
+complexes cover boxes and gluing stays anchored at shared faces: a
+radix-8 round merges ``2x2x2`` neighborhoods of the current block grid,
+radix-4 merges ``2x2x1`` (on the two axes with the most remaining
+splits), radix-2 merges ``2x1x1``.
+
+:func:`full_merge_radices` reproduces the paper's full-merge schedules:
+2048 blocks -> [4, 8, 8, 8] (Table I), 256 -> [4, 8, 8] (Table II), and
+8192 -> [2, 8, 8, 8, 8] (§VI-D1) — when the radix cannot be 8, "the
+remaining smaller radices are slightly better in early rounds rather than
+later".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.addressing import cut_planes_from_splits
+from repro.parallel.decomposition import BlockDecomposition
+
+__all__ = ["MergeRound", "MergeSchedule", "full_merge_radices"]
+
+_ALLOWED_RADICES = (2, 4, 8)
+
+
+@dataclass(frozen=True)
+class MergeRound:
+    """One merge round: ``radix`` members per group, split per axis."""
+
+    radix: int
+    factors: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        fx, fy, fz = self.factors
+        if fx * fy * fz != self.radix:
+            raise ValueError(f"factors {self.factors} != radix {self.radix}")
+
+
+def full_merge_radices(num_blocks: int, max_radix: int = 8) -> list[int]:
+    """Radices performing a full merge of ``num_blocks`` down to one block.
+
+    Follows the paper's guideline: use the highest radix possible and put
+    any smaller leftover radix in the *first* round.
+    """
+    if num_blocks < 1 or (num_blocks & (num_blocks - 1)) != 0:
+        raise ValueError("num_blocks must be a power of two")
+    if max_radix not in _ALLOWED_RADICES:
+        raise ValueError(f"max_radix must be one of {_ALLOWED_RADICES}")
+    n = int(num_blocks).bit_length() - 1  # log2
+    base = max_radix.bit_length() - 1
+    radices: list[int] = []
+    if n % base:
+        radices.append(2 ** (n % base))
+    radices.extend([max_radix] * (n // base))
+    return radices
+
+
+class MergeSchedule:
+    """Round/radix schedule over a block decomposition.
+
+    Parameters
+    ----------
+    decomposition:
+        The block decomposition of the domain.
+    radices:
+        Radix of each round (2, 4, or 8 each).  The product must divide
+        the block count with a feasible per-axis factorization; a partial
+        merge leaves ``num_blocks / prod(radices)`` output blocks.
+    """
+
+    def __init__(
+        self, decomposition: BlockDecomposition, radices: list[int]
+    ) -> None:
+        self.decomposition = decomposition
+        radices = [int(r) for r in radices]
+        for r in radices:
+            if r not in _ALLOWED_RADICES:
+                raise ValueError(
+                    f"radix {r} not allowed; use one of {_ALLOWED_RADICES}"
+                )
+        self.rounds: list[MergeRound] = []
+        #: block-grid dims before each round; grids[-1] is the final grid
+        self.grids: list[tuple[int, int, int]] = [decomposition.splits]
+        grid = list(decomposition.splits)
+        for r in radices:
+            factors = [1, 1, 1]
+            for _ in range(r.bit_length() - 1):  # log2(r) factor-2 splits
+                candidates = [
+                    a for a in range(3) if grid[a] % (factors[a] * 2) == 0
+                    and grid[a] // (factors[a] * 2) >= 1
+                ]
+                if not candidates:
+                    raise ValueError(
+                        f"cannot apply radix {r} to block grid {tuple(grid)}"
+                    )
+                # prefer the axis with the most remaining splits; on ties,
+                # an axis not yet divided this round (keeps groups cubic)
+                axis = max(
+                    candidates,
+                    key=lambda a: (grid[a] // factors[a], -factors[a], -a),
+                )
+                factors[axis] *= 2
+            self.rounds.append(MergeRound(r, tuple(factors)))
+            grid = [g // f for g, f in zip(grid, factors)]
+            self.grids.append(tuple(grid))
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def num_output_blocks(self) -> int:
+        sx, sy, sz = self.grids[-1]
+        return sx * sy * sz
+
+    def cumulative_factors(self, upto_round: int) -> tuple[int, int, int]:
+        """Per-axis group size of original blocks merged after ``upto_round`` rounds."""
+        f = [1, 1, 1]
+        for rnd in self.rounds[:upto_round]:
+            f = [a * b for a, b in zip(f, rnd.factors)]
+        return tuple(f)
+
+    def original_root_block(
+        self, round_grid_coords: tuple[int, int, int], upto_round: int
+    ) -> tuple[int, int, int]:
+        """Original block-grid coords of a superblock's root."""
+        f = self.cumulative_factors(upto_round)
+        return tuple(c * g for c, g in zip(round_grid_coords, f))
+
+    def groups(
+        self, round_idx: int
+    ) -> list[tuple[tuple[int, int, int], list[tuple[int, int, int]]]]:
+        """Merge groups of one round.
+
+        Returns ``(root, members)`` pairs in *original block-grid*
+        coordinates; ``members`` excludes the root and is ordered x
+        fastest.  The root is the lexicographically smallest member of
+        its group, and the rank owning the root's original block performs
+        the merge.
+        """
+        grid = self.grids[round_idx]
+        fx, fy, fz = self.rounds[round_idx].factors
+        out = []
+        for nk in range(grid[2] // fz):
+            for nj in range(grid[1] // fy):
+                for ni in range(grid[0] // fx):
+                    members = [
+                        (ni * fx + di, nj * fy + dj, nk * fz + dk)
+                        for dk in range(fz)
+                        for dj in range(fy)
+                        for di in range(fx)
+                    ]
+                    root = members[0]
+                    orig = [
+                        self.original_root_block(m, round_idx)
+                        for m in members
+                    ]
+                    out.append((orig[0], orig[1:]))
+        return out
+
+    def cut_planes_after(self, upto_round: int):
+        """Per-axis refined cut planes still separating blocks after rounds.
+
+        Cut planes interior to a merged superblock disappear; nodes on
+        them become interior and cancellable (§IV-F3).
+        """
+        f = self.cumulative_factors(upto_round)
+        out = []
+        for axis in range(3):
+            cuts = self.decomposition.cut_vertices[axis]
+            step = f[axis]
+            remaining = [
+                cuts[i] for i in range(len(cuts)) if (i + 1) % step == 0
+            ]
+            out.append(cut_planes_from_splits(remaining))
+        return tuple(out)
+
+    def describe(self) -> str:
+        """Compact human-readable schedule, e.g. '4 8 8 8'."""
+        return " ".join(str(r.radix) for r in self.rounds)

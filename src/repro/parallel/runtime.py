@@ -1,0 +1,173 @@
+"""Deterministic scheduler for virtual SPMD rank programs.
+
+:class:`VirtualMPI` executes ``size`` generator-based rank programs
+(written against :class:`repro.parallel.comm.Comm`) with MPI-like
+semantics: buffered sends, blocking tagged receives, and full barriers.
+Scheduling is deterministic — ranks are advanced in rank order, each as
+far as it can go — so every run of a pipeline produces identical results
+and an identical message log.
+
+The message log records ``(src, dest, tag, nbytes)`` for every delivered
+message; the Blue Gene/P machine model replays it to assign virtual
+communication time.  Deadlocks (all unfinished ranks blocked on receives
+that can never be satisfied) raise :class:`DeadlockError` with a
+diagnostic of who waits for whom.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.parallel.comm import Barrier, Comm, Recv, Send, payload_nbytes
+
+__all__ = ["VirtualMPI", "DeadlockError", "MessageRecord"]
+
+
+class DeadlockError(RuntimeError):
+    """All unfinished ranks are blocked and no message can arrive."""
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One delivered point-to-point message (for the machine model)."""
+
+    src: int
+    dest: int
+    tag: int
+    nbytes: int
+
+
+class VirtualMPI:
+    """Run SPMD generator programs over a virtual communicator.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    record_messages:
+        Keep a :class:`MessageRecord` log of all traffic (cheap; on by
+        default so cost models can replay it).
+    """
+
+    def __init__(self, size: int, record_messages: bool = True) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+        self.record_messages = record_messages
+        self.message_log: list[MessageRecord] = []
+
+    def run(
+        self,
+        main: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> list[Any]:
+        """Execute ``main(comm, *args, **kwargs)`` on every rank.
+
+        ``main`` must be a generator function.  Returns the per-rank
+        return values (``return x`` inside the generator).
+        """
+        comms = [Comm(r, self.size) for r in range(self.size)]
+        gens = [main(c, *args, **kwargs) for c in comms]
+        results: list[Any] = [None] * self.size
+        done = [False] * self.size
+        # mailbox[(dest, src, tag)] -> deque of payloads
+        mailbox: dict[tuple[int, int, int], deque] = {}
+        # what each rank is blocked on: None (runnable), Recv, or Barrier
+        blocked: list[Any] = [None] * self.size
+        resume_value: list[Any] = [None] * self.size
+        at_barrier: set[int] = set()
+
+        def deliver(src: int, req: Send) -> None:
+            key = (req.dest, src, req.tag)
+            mailbox.setdefault(key, deque()).append(req.payload)
+            if self.record_messages:
+                self.message_log.append(
+                    MessageRecord(
+                        src, req.dest, req.tag, payload_nbytes(req.payload)
+                    )
+                )
+
+        def try_unblock(rank: int) -> bool:
+            req = blocked[rank]
+            if req is None:
+                return True
+            if isinstance(req, Recv):
+                key = (rank, req.src, req.tag)
+                q = mailbox.get(key)
+                if q:
+                    resume_value[rank] = q.popleft()
+                    blocked[rank] = None
+                    return True
+                return False
+            if isinstance(req, Barrier):
+                return False  # barriers release collectively below
+            raise TypeError(f"unknown request {req!r}")
+
+        def advance(rank: int) -> None:
+            """Drive one rank until it blocks or finishes."""
+            gen = gens[rank]
+            while True:
+                try:
+                    req = gen.send(resume_value[rank])
+                except StopIteration as stop:
+                    results[rank] = stop.value
+                    done[rank] = True
+                    return
+                resume_value[rank] = None
+                if isinstance(req, Send):
+                    deliver(rank, req)
+                    continue
+                if isinstance(req, Recv):
+                    key = (rank, req.src, req.tag)
+                    q = mailbox.get(key)
+                    if q:
+                        resume_value[rank] = q.popleft()
+                        continue
+                    blocked[rank] = req
+                    return
+                if isinstance(req, Barrier):
+                    blocked[rank] = req
+                    at_barrier.add(rank)
+                    return
+                raise TypeError(
+                    f"rank {rank} yielded unknown request {req!r}"
+                )
+
+        while not all(done):
+            progressed = False
+            for rank in range(self.size):
+                if done[rank]:
+                    continue
+                if blocked[rank] is not None and not try_unblock(rank):
+                    continue
+                progressed = True
+                advance(rank)
+            # release a completed barrier
+            waiting = {r for r in range(self.size) if not done[r]}
+            if waiting and at_barrier >= waiting and all(
+                isinstance(blocked[r], Barrier) for r in waiting
+            ):
+                for r in waiting:
+                    blocked[r] = None
+                at_barrier.clear()
+                progressed = True
+            if not progressed:
+                self._raise_deadlock(done, blocked)
+
+        leftover = {k: len(q) for k, q in mailbox.items() if q}
+        if leftover:
+            raise RuntimeError(
+                f"program finished with undelivered messages: {leftover}"
+            )
+        return results
+
+    @staticmethod
+    def _raise_deadlock(done, blocked) -> None:
+        desc = []
+        for r, b in enumerate(blocked):
+            if not done[r]:
+                desc.append(f"rank {r}: waiting on {b!r}")
+        raise DeadlockError("virtual MPI deadlock:\n" + "\n".join(desc))

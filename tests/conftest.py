@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_random_field(rng) -> np.ndarray:
+    """A 6x7x8 random field (no ties, rich topology)."""
+    return rng.random((6, 7, 8))
+
+
+@pytest.fixture
+def bump_field() -> np.ndarray:
+    """A single smooth bump on a 10^3 grid: one max, one (virtual) min."""
+    t = np.linspace(-1.0, 1.0, 10)
+    X, Y, Z = np.meshgrid(t, t, t, indexing="ij")
+    return np.exp(-3.0 * (X**2 + Y**2 + Z**2))
+
+
+@pytest.fixture
+def monotone_field() -> np.ndarray:
+    """x+y+z ramp: exactly one minimum, no other critical points."""
+    X, Y, Z = np.meshgrid(
+        np.arange(5.0), np.arange(6.0), np.arange(7.0), indexing="ij"
+    )
+    return X + Y + Z

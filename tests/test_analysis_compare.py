@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.compare: complex matching."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compare import compare_complexes, feature_signature
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import (
+    ParallelMSComplexPipeline,
+    compute_morse_smale_complex,
+)
+from repro.data.synthetic import gaussian_bumps_field
+from repro.morse.msc import MorseSmaleComplex
+
+
+def _make(nodes):
+    msc = MorseSmaleComplex((99, 99, 99))
+    for addr, idx, val in nodes:
+        msc.add_node(addr, idx, val)
+    return msc
+
+
+class TestMatching:
+    def test_identical_complexes(self):
+        a = _make([(0, 0, 1.0), (5, 1, 2.0)])
+        b = _make([(0, 0, 1.0), (5, 1, 2.0)])
+        cmp = compare_complexes(a, b)
+        assert cmp.identical
+        assert cmp.matched_by_address == 2
+        assert cmp.recall == 1.0 and cmp.precision == 1.0
+
+    def test_shifted_node_matches_by_signature(self):
+        a = _make([(0, 0, 1.0), (5, 3, 2.0)])
+        b = _make([(0, 0, 1.0), (7, 3, 2.0)])  # max shifted along plateau
+        cmp = compare_complexes(a, b)
+        assert cmp.matched_by_address == 1
+        assert cmp.matched_by_signature == 1
+        assert cmp.identical
+
+    def test_genuinely_missing_node(self):
+        a = _make([(0, 0, 1.0), (5, 3, 2.0)])
+        b = _make([(0, 0, 1.0)])
+        cmp = compare_complexes(a, b)
+        assert cmp.recall == 0.5
+        assert cmp.precision == 1.0
+        assert cmp.only_reference[(3, 2.0)] == 1
+        assert not cmp.identical
+
+    def test_extra_node_in_test(self):
+        a = _make([(0, 0, 1.0)])
+        b = _make([(0, 0, 1.0), (9, 2, 0.5)])
+        cmp = compare_complexes(a, b)
+        assert cmp.precision == 0.5
+        assert cmp.only_test[(2, 0.5)] == 1
+
+    def test_min_value_filter(self):
+        a = _make([(0, 0, 0.001), (5, 3, 2.0)])
+        b = _make([(1, 0, 0.002), (5, 3, 2.0)])
+        cmp = compare_complexes(a, b, min_value=0.1)
+        assert cmp.identical
+        assert cmp.reference_nodes == 1
+
+    def test_same_address_different_index_not_matched_by_address(self):
+        a = _make([(5, 1, 2.0)])
+        b = _make([(5, 2, 2.0)])
+        cmp = compare_complexes(a, b)
+        assert cmp.matched == 0
+
+    def test_empty_complexes(self):
+        cmp = compare_complexes(_make([]), _make([]))
+        assert cmp.identical
+        assert cmp.recall == 1.0 and cmp.precision == 1.0
+
+    def test_describe(self):
+        cmp = compare_complexes(_make([(0, 0, 1.0)]), _make([]))
+        assert "recall=0.000" in cmp.describe()
+
+
+class TestFeatureSignature:
+    def test_counts_multiplicity(self):
+        msc = _make([(0, 3, 1.0), (9, 3, 1.0), (5, 0, 0.2)])
+        sig = feature_signature(msc)
+        assert sig[(3, 1.0)] == 2
+        assert sig[(0, 0.2)] == 1
+
+    def test_value_floor(self):
+        msc = _make([(0, 3, 1.0), (5, 0, 0.0)])
+        sig = feature_signature(msc, min_value=0.5)
+        assert (0, 0.0) not in sig
+
+
+class TestEndToEnd:
+    def test_serial_vs_parallel_high_recall(self):
+        field = gaussian_bumps_field((15, 15, 15), 5, seed=11)
+        serial = compute_morse_smale_complex(field, 0.05)
+        cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.05)
+        parallel = ParallelMSComplexPipeline(cfg).run(field)
+        cmp = compare_complexes(
+            serial, parallel.merged_complexes[0], min_value=0.05
+        )
+        assert cmp.recall == 1.0
+        assert cmp.precision == 1.0

@@ -1,0 +1,116 @@
+"""Tests for repro.analysis.segmentation: basin/mountain labeling."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.segmentation import (
+    basin_sizes,
+    segment_maxima,
+    segment_minima,
+)
+from repro.data.synthetic import gaussian_bumps_field
+from repro.mesh.cubical import CubicalComplex
+from repro.morse.gradient import compute_discrete_gradient
+
+
+def _field_of(values):
+    return compute_discrete_gradient(CubicalComplex(values))
+
+
+class TestMinimaBasins:
+    def test_monotone_single_basin(self, monotone_field):
+        g = _field_of(monotone_field)
+        labels = segment_minima(g)
+        assert labels.shape == monotone_field.shape
+        assert np.all(labels == 0)
+
+    def test_label_count_matches_minima(self, small_random_field):
+        g = _field_of(small_random_field)
+        labels = segment_minima(g)
+        n_min = g.critical_counts()[0]
+        assert labels.min() == 0
+        assert labels.max() == n_min - 1
+        assert len(np.unique(labels)) == n_min
+
+    def test_every_vertex_labeled(self, small_random_field):
+        g = _field_of(small_random_field)
+        labels = segment_minima(g)
+        assert (labels >= 0).all()
+
+    def test_minimum_vertex_owns_its_basin(self, small_random_field):
+        g = _field_of(small_random_field)
+        cx = g.complex
+        labels = segment_minima(g)
+        for idx, m in enumerate(
+            g.critical_cells_by_dim()[0].tolist()
+        ):
+            i, j, k = cx.refined_coords(m)
+            assert labels[i // 2, j // 2, k // 2] == idx
+
+    def test_two_well_basins_split_domain(self):
+        """Two separated wells: the basin boundary sits between them."""
+        t = np.linspace(0.0, 1.0, 15)
+        X, Y, Z = np.meshgrid(t, t, t, indexing="ij")
+        f = -np.exp(-((X - 0.25) ** 2 + (Y - 0.5) ** 2 + (Z - 0.5) ** 2)
+                    / 0.05**2)
+        f -= np.exp(-((X - 0.75) ** 2 + (Y - 0.5) ** 2 + (Z - 0.5) ** 2)
+                    / 0.05**2)
+        g = _field_of(f)
+        labels = segment_minima(g)
+        # the two deep wells land in different basins
+        assert labels[3, 7, 7] != labels[11, 7, 7]
+        sizes = basin_sizes(labels)
+        # both wells capture a substantial share of the domain
+        top_two = np.sort(sizes)[-2:]
+        assert top_two.min() > f.size * 0.2
+
+
+class TestMaximaMountains:
+    def test_label_count_matches_maxima(self, small_random_field):
+        g = _field_of(small_random_field)
+        labels = segment_maxima(g)
+        n_max = g.critical_counts()[3]
+        assert labels.shape == tuple(
+            n - 1 for n in small_random_field.shape
+        )
+        positive = np.unique(labels[labels >= 0])
+        assert len(positive) == n_max  # every maximum owns a mountain
+
+    def test_boundary_outflow_labeled_minus_one(self, monotone_field):
+        """A monotone ramp has no maxima: every voxel flows out."""
+        g = _field_of(monotone_field)
+        labels = segment_maxima(g)
+        assert (labels == -1).all()
+
+    def test_interior_bump_claims_voxels(self, bump_field):
+        g = _field_of(bump_field)
+        labels = segment_maxima(g)
+        assert (labels >= 0).any()
+
+    def test_bump_count_recovered_by_segmentation(self):
+        """Laney-style feature counting: mountains ~ bump count."""
+        f = gaussian_bumps_field((18, 18, 18), 4, seed=12)
+        g = _field_of(f)
+        labels = segment_maxima(g)
+        sizes = basin_sizes(labels)
+        # each genuine bump claims a sizable mountain; spurious maxima
+        # (if any) claim tiny ones
+        big = np.count_nonzero(sizes > f.size * 0.01)
+        assert 3 <= big <= 6
+
+    def test_bump_center_belongs_to_its_maximum(self, bump_field):
+        g = _field_of(bump_field)
+        labels = segment_maxima(g)
+        cx = g.complex
+        (max_voxel,) = g.critical_cells_by_dim()[3].tolist()
+        i, j, k = cx.refined_coords(max_voxel)
+        assert labels[i // 2, j // 2, k // 2] == 0
+        # the center of the bump is in that mountain
+        assert labels[4, 4, 4] == 0
+
+
+class TestBasinSizes:
+    def test_sizes_sum_to_cells(self, small_random_field):
+        g = _field_of(small_random_field)
+        labels = segment_minima(g)
+        assert basin_sizes(labels).sum() == labels.size

@@ -1,0 +1,84 @@
+"""Meta tests: public API surface and documentation coverage."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.data",
+    "repro.io",
+    "repro.machine",
+    "repro.mesh",
+    "repro.morse",
+    "repro.parallel",
+]
+
+
+def _public_members(mod):
+    names = getattr(mod, "__all__", None)
+    if names is None:
+        names = [n for n in vars(mod) if not n.startswith("_")]
+    for name in names:
+        yield name, getattr(mod, name)
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_exports_resolve(pkg):
+    mod = importlib.import_module(pkg)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{pkg}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_package_docstrings(pkg):
+    mod = importlib.import_module(pkg)
+    assert mod.__doc__ and mod.__doc__.strip(), f"{pkg} lacks a docstring"
+
+
+def _walk_modules():
+    for pkg in PACKAGES:
+        mod = importlib.import_module(pkg)
+        if hasattr(mod, "__path__"):
+            for info in pkgutil.iter_modules(mod.__path__):
+                yield importlib.import_module(f"{pkg}.{info.name}")
+        else:
+            yield mod
+
+
+def test_every_module_documented():
+    undocumented = [
+        m.__name__ for m in _walk_modules()
+        if not (m.__doc__ and m.__doc__.strip())
+    ]
+    assert not undocumented, undocumented
+
+
+def test_public_functions_and_classes_documented():
+    missing = []
+    for mod in _walk_modules():
+        if not mod.__name__.startswith("repro"):
+            continue
+        for name, obj in _public_members(mod):
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if getattr(obj, "__module__", "").startswith("repro"):
+                    if not (obj.__doc__ and obj.__doc__.strip()):
+                        missing.append(f"{mod.__name__}.{name}")
+    assert not missing, f"undocumented public items: {sorted(set(missing))}"
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quickstart_names():
+    # the README quickstart must keep working
+    assert callable(repro.compute_morse_smale_complex)
+    assert callable(repro.ParallelMSComplexPipeline)
+    assert callable(repro.PipelineConfig)

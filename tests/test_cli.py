@@ -1,0 +1,93 @@
+"""Tests for repro.cli: the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io.volume import VolumeSpec, write_volume
+from repro.data.synthetic import gaussian_bumps_field
+
+
+@pytest.fixture
+def volume(tmp_path):
+    field = gaussian_bumps_field((13, 13, 13), 3, seed=1)
+    spec = write_volume(tmp_path / "f.raw", field, dtype="float32")
+    return spec
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compute_args(self):
+        args = build_parser().parse_args(
+            ["compute", "v.raw", "--dims", "8", "8", "8", "--blocks", "4"]
+        )
+        assert args.command == "compute"
+        assert args.dims == [8, 8, 8]
+        assert args.blocks == 4
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compute", "v.raw", "--dims", "8", "8", "8",
+                 "--dtype", "int16"]
+            )
+
+
+class TestCompute:
+    def test_compute_and_info_roundtrip(self, volume, tmp_path, capsys):
+        out = tmp_path / "out.msc"
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--dtype", "float32",
+            "--blocks", "8",
+            "--persistence", "0.05",
+            "--output", str(out),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "critical points" in stdout
+        assert out.exists()
+
+        rc = main(["info", str(out)])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "block 0" in stdout
+        assert "MS complex" in stdout
+
+    def test_no_merge(self, volume, capsys):
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--blocks", "8", "--no-merge",
+        ])
+        assert rc == 0
+        assert "8 output block(s)" in capsys.readouterr().out
+
+
+class TestSynth:
+    @pytest.mark.parametrize(
+        "kind", ["sinusoid", "bumps", "jet", "rayleigh-taylor", "hydrogen"]
+    )
+    def test_synth_kinds(self, kind, tmp_path, capsys):
+        out = tmp_path / f"{kind}.raw"
+        rc = main(["synth", kind, str(out), "--points", "12"])
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_synth_then_compute(self, tmp_path, capsys):
+        out = tmp_path / "s.raw"
+        main(["synth", "sinusoid", str(out), "--points", "12",
+              "--features", "2"])
+        msg = capsys.readouterr().out
+        # parse dims back out of the synth report
+        dims = msg.split("dims=(")[1].split(")")[0].replace(",", " ").split()
+        rc = main([
+            "compute", str(out), "--dims", *dims, "--dtype", "float32",
+            "--blocks", "2", "--persistence", "0.1",
+        ])
+        assert rc == 0

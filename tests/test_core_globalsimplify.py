@@ -1,0 +1,188 @@
+"""Tests for repro.core.globalsimplify: §VII-B global simplification."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.globalsimplify import (
+    global_persistence_simplification,
+    split_complex,
+)
+from repro.core.pipeline import (
+    ParallelMSComplexPipeline,
+    compute_morse_smale_complex,
+)
+from repro.data.synthetic import gaussian_bumps_field
+from repro.morse.msc import MorseSmaleComplex
+from repro.morse.validate import assert_ms_complex_valid
+
+
+def _partial_result(field, threshold=0.05, blocks=8, radices="none"):
+    cfg = PipelineConfig(
+        num_blocks=blocks,
+        persistence_threshold=threshold,
+        merge_radices=radices,
+    )
+    return ParallelMSComplexPipeline(cfg).run(field)
+
+
+class TestSplitComplex:
+    def _merged_pair(self):
+        field = gaussian_bumps_field((13, 12, 11), 4, seed=6)
+        res = _partial_result(field, blocks=2)
+        from repro.core.glue import glue_into
+
+        blocks = res.merged_complexes
+        root = blocks[0]
+        glue_into(root, blocks[1], root.address_index())
+        plane = int(res.decomposition.cut_planes[0][0])
+        return root, plane, res
+
+    def test_split_partitions_nodes(self):
+        root, plane, _res = self._merged_pair()
+        total_real = {
+            root.node_address[n]
+            for n in root.alive_nodes()
+            if not root.node_ghost[n]
+        }
+        low, high = split_complex(root, 0, plane)
+        seen = set()
+        for half in (low, high):
+            assert_ms_complex_valid(half)
+            for n in half.alive_nodes():
+                if not half.node_ghost[n]:
+                    seen.add(half.node_address[n])
+        assert seen == total_real
+
+    def test_split_assigns_arcs_once(self):
+        root, plane, _res = self._merged_pair()
+        gdims = root.global_refined_dims
+        low, high = split_complex(root, 0, plane)
+
+        def arc_keys(msc, in_plane_only=False):
+            from repro.mesh.addressing import address_to_coords
+
+            out = []
+            for a in msc.alive_arcs():
+                ua = msc.node_address[msc.arc_upper[a]]
+                la = msc.node_address[msc.arc_lower[a]]
+                on_plane = (
+                    address_to_coords(ua, gdims)[0] == plane
+                    and address_to_coords(la, gdims)[0] == plane
+                )
+                if on_plane == in_plane_only:
+                    out.append((ua, la))
+            return sorted(out)
+
+        total = sorted(arc_keys(low) + arc_keys(high))
+        ref = []
+        from repro.mesh.addressing import address_to_coords
+
+        for a in root.alive_arcs():
+            ua = root.node_address[root.arc_upper[a]]
+            la = root.node_address[root.arc_lower[a]]
+            if not (
+                address_to_coords(ua, gdims)[0] == plane
+                and address_to_coords(la, gdims)[0] == plane
+            ):
+                ref.append((ua, la))
+        assert total == sorted(ref)
+
+    def test_ghosts_marked_and_protected(self):
+        root, plane, _res = self._merged_pair()
+        low, high = split_complex(root, 0, plane)
+        ghosts = [
+            n for half in (low, high) for n in half.alive_nodes()
+            if half.node_ghost[n]
+        ]
+        # crossing arcs (if any) produce ghosts; every ghost must also be
+        # excluded from feature counts
+        for half in (low, high):
+            counts = half.node_counts_by_index()
+            reals = sum(
+                1
+                for n in half.alive_nodes()
+                if not half.node_ghost[n]
+            )
+            assert sum(counts) == reals
+        del ghosts
+
+    def test_regions_updated(self):
+        root, plane, res = self._merged_pair()
+        low, high = split_complex(root, 0, plane)
+        cut_vertex = plane // 2
+        assert low.region_hi[0] == cut_vertex + 1
+        assert high.region_lo[0] == cut_vertex
+
+
+class TestGlobalSimplification:
+    def test_reduces_toward_full_merge(self):
+        field = gaussian_bumps_field((17, 17, 17), 5, seed=4)
+        res = _partial_result(field)
+        before = sum(res.combined_node_counts())
+        stats = global_persistence_simplification(res, 0.05, sweeps=2)
+        after = sum(res.combined_node_counts())
+        assert after < before
+        assert stats.cancellations > 0
+        assert stats.pair_merges > 0
+        assert res.num_output_blocks == 8  # data stays distributed
+
+        full = _partial_result(field, radices="full")
+        full_nodes = sum(full.combined_node_counts())
+        # global simplification approaches the full-merge level; the
+        # residue is nodes on plane intersections (block edges/corners),
+        # which pairwise sweeps cannot unprotect
+        assert after < before / 2
+        assert after >= full_nodes
+
+    def test_maxima_match_full_merge(self):
+        """The interior features (maxima) converge to the full-merge set.
+
+        Minima of the bumps field live in the near-flat background and
+        frequently sit on plane intersections (block edges/corners),
+        which pairwise nearest-neighbor sweeps can never unprotect —
+        the documented residue of this §VII-B scheme.
+        """
+        field = gaussian_bumps_field((17, 17, 17), 5, seed=4)
+        res = _partial_result(field)
+        global_persistence_simplification(res, 0.05, sweeps=2)
+        full = _partial_result(field, radices="full")
+        got = res.combined_node_counts()
+        ref = full.combined_node_counts()
+        assert got[3] == ref[3]  # maxima
+
+    def test_complexes_stay_valid(self):
+        field = gaussian_bumps_field((13, 13, 13), 3, seed=9)
+        res = _partial_result(field)
+        global_persistence_simplification(res, 0.05)
+        for msc in res.output_blocks.values():
+            assert_ms_complex_valid(msc)
+
+    def test_works_after_partial_merge(self):
+        field = gaussian_bumps_field((17, 17, 17), 4, seed=2)
+        res = _partial_result(field, blocks=16, radices=[2])
+        assert res.num_output_blocks == 8
+        before = sum(res.combined_node_counts())
+        stats = global_persistence_simplification(res, 0.05)
+        assert sum(res.combined_node_counts()) <= before
+        assert stats.message_bytes > 0
+
+    def test_stats_describe(self):
+        field = gaussian_bumps_field((13, 13, 13), 3, seed=9)
+        res = _partial_result(field)
+        stats = global_persistence_simplification(res, 0.05)
+        text = stats.describe()
+        assert "pair merges" in text and "cancellations" in text
+
+    def test_sweep_validation(self):
+        field = gaussian_bumps_field((13, 13, 13), 3, seed=9)
+        res = _partial_result(field)
+        with pytest.raises(ValueError):
+            global_persistence_simplification(res, 0.05, sweeps=0)
+
+    def test_single_output_block_noop(self):
+        field = gaussian_bumps_field((13, 13, 13), 3, seed=9)
+        res = _partial_result(field, radices="full")
+        stats = global_persistence_simplification(res, 0.05)
+        assert stats.pair_merges == 0
+        assert res.num_output_blocks == 1

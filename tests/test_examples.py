@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs end to end.
+
+The heavier examples are exercised at reduced problem sizes by calling
+their building blocks; ``quickstart`` runs verbatim (it is the paper's
+"hello world" and must work as documented).
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path(monkeypatch):
+    monkeypatch.syspath_prepend(str(EXAMPLES))
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "parallel == serial feature counts: OK" in out
+
+
+def test_porous_filaments_components():
+    sys.path.insert(0, str(EXAMPLES))
+    import porous_filaments as pf
+
+    field = pf.porous_material_field(n=20, num_grains=12, seed=3)
+    assert field.shape == (20, 20, 20)
+    # pore space exists on both sides of the material interface
+    assert (field > 0).any() and (field < 0).any()
+
+    from repro import PipelineConfig, ParallelMSComplexPipeline
+    from repro.analysis import (
+        arcs_by_family,
+        filament_statistics,
+        to_networkx,
+    )
+
+    cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.01)
+    msc = ParallelMSComplexPipeline(cfg).run(field).merged_complexes[0]
+    g = to_networkx(msc, arcs_by_family(msc, 3))
+    stats = filament_statistics(g)
+    assert stats["arcs"] > 0
+    assert stats["total_length"] > 0
+
+
+def test_stability_example_helpers():
+    sys.path.insert(0, str(EXAMPLES))
+    import stability_study as ss
+    from repro import compute_morse_smale_complex
+    from repro.data import hydrogen_atom
+
+    field = hydrogen_atom(25)
+    msc = compute_morse_smale_complex(field, persistence_threshold=2.0)
+    arcs, maxima = ss.stable_features(msc)
+    assert len(maxima) >= 1
+
+
+def test_all_examples_importable():
+    sys.path.insert(0, str(EXAMPLES))
+    for script in EXAMPLES.glob("*.py"):
+        mod = runpy.run_path(str(script), run_name="not_main")
+        assert "main" in mod, f"{script.name} lacks a main()"

@@ -1,0 +1,79 @@
+"""Tests for repro.io.mscfile: the MS complex output format."""
+
+import numpy as np
+import pytest
+
+from repro.io.mscfile import (
+    MAGIC,
+    deserialize_payload,
+    read_msc_file,
+    serialize_payload,
+    write_msc_file,
+)
+from repro.mesh.cubical import CubicalComplex
+from repro.morse.gradient import compute_discrete_gradient
+from repro.morse.msc import MorseSmaleComplex
+from repro.morse.tracing import extract_ms_complex
+
+
+@pytest.fixture
+def payload(small_random_field):
+    f = compute_discrete_gradient(CubicalComplex(small_random_field))
+    msc = extract_ms_complex(f)
+    msc.compact()
+    return msc.to_payload()
+
+
+class TestRecordRoundtrip:
+    def test_serialize_deserialize(self, payload):
+        back = deserialize_payload(serialize_payload(payload))
+        assert set(back) == set(payload)
+        for key in payload:
+            np.testing.assert_array_equal(back[key], payload[key])
+
+    def test_complex_roundtrip(self, payload):
+        blob = serialize_payload(payload)
+        msc = MorseSmaleComplex.from_payload(deserialize_payload(blob))
+        ref = MorseSmaleComplex.from_payload(payload)
+        assert msc.node_counts_by_index() == ref.node_counts_by_index()
+        assert msc.num_alive_arcs() == ref.num_alive_arcs()
+
+    def test_bad_section_count_rejected(self, payload):
+        blob = bytearray(serialize_payload(payload))
+        blob[0] = 99
+        with pytest.raises(ValueError):
+            deserialize_payload(bytes(blob))
+
+
+class TestFileRoundtrip:
+    def test_multi_block_file(self, tmp_path, payload):
+        path = tmp_path / "out.msc"
+        nbytes = write_msc_file(path, [(0, payload), (5, payload)])
+        assert path.stat().st_size == nbytes
+        blocks = read_msc_file(path)
+        assert set(blocks) == {0, 5}
+        for key in payload:
+            np.testing.assert_array_equal(blocks[5][key], payload[key])
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.msc"
+        write_msc_file(path, [])
+        assert read_msc_file(path) == {}
+
+    def test_footer_magic(self, tmp_path, payload):
+        path = tmp_path / "m.msc"
+        write_msc_file(path, [(0, payload)])
+        assert path.read_bytes()[-4:] == MAGIC
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.msc"
+        path.write_bytes(b"this is not an msc file....")
+        with pytest.raises(ValueError, match="magic"):
+            read_msc_file(path)
+
+    def test_empty_complex_block(self, tmp_path):
+        empty = MorseSmaleComplex((5, 5, 5)).to_payload()
+        path = tmp_path / "e.msc"
+        write_msc_file(path, [(3, empty)])
+        blocks = read_msc_file(path)
+        assert blocks[3]["node_address"].size == 0

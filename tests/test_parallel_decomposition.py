@@ -1,0 +1,119 @@
+"""Tests for repro.parallel.decomposition: bisection blocking."""
+
+import numpy as np
+import pytest
+
+from repro.mesh.grid import Box
+from repro.parallel.decomposition import (
+    axis_cut_vertices,
+    decompose,
+    BlockDecomposition,
+)
+
+
+class TestAxisCuts:
+    def test_even_split(self):
+        assert axis_cut_vertices(9, 2) == [4]
+        assert axis_cut_vertices(9, 4) == [2, 4, 6]
+
+    def test_single_block_no_cuts(self):
+        assert axis_cut_vertices(9, 1) == []
+
+    def test_uneven_lengths_near_equal(self):
+        cuts = axis_cut_vertices(10, 3)
+        bounds = [0] + cuts + [9]
+        lengths = np.diff(bounds)
+        assert lengths.max() - lengths.min() <= 1
+
+    def test_infeasible_rejected(self):
+        with pytest.raises(ValueError):
+            axis_cut_vertices(3, 4)
+
+
+class TestBisection:
+    def test_longest_axis_split_first(self):
+        d = decompose((17, 9, 9), 2)
+        assert d.splits == (2, 1, 1)
+
+    def test_eight_blocks_cube(self):
+        d = decompose((9, 9, 9), 8)
+        assert d.splits == (2, 2, 2)
+
+    def test_anisotropic(self):
+        d = decompose((65, 57, 9), 8)
+        assert d.num_blocks == 8
+        # the short z axis is never split; x is halved twice
+        assert d.splits == (4, 2, 1)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            decompose((9, 9, 9), 6)
+
+    def test_explicit_splits(self):
+        d = decompose((9, 13, 9), 6, splits=(1, 3, 2))
+        assert d.splits == (1, 3, 2)
+        with pytest.raises(ValueError):
+            decompose((9, 13, 9), 6, splits=(2, 2, 2))
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            decompose((3, 3, 3), 64)
+
+
+class TestBlockGeometry:
+    def setup_method(self):
+        self.d = decompose((9, 9, 5), 8, splits=(2, 2, 2))
+
+    def test_blocks_share_one_vertex_layer(self):
+        left = self.d.block_box((0, 0, 0))
+        right = self.d.block_box((1, 0, 0))
+        assert left.hi[0] - 1 == right.lo[0]  # shared layer
+
+    def test_blocks_cover_domain(self):
+        covered = np.zeros((9, 9, 5), dtype=int)
+        for b in range(self.d.num_blocks):
+            box = self.d.block_box(self.d.block_coords(b))
+            covered[box.slices()] += 1
+        assert covered.min() >= 1
+        # interior cut layers are covered exactly twice (shared)
+        assert covered[4, 0, 0] == 2
+        assert covered[4, 4, 2] == 8  # triple cut corner: 2^3 blocks
+
+    def test_linear_id_roundtrip(self):
+        for b in range(self.d.num_blocks):
+            assert self.d.linear_id(self.d.block_coords(b)) == b
+
+    def test_cut_planes_are_refined_doubled(self):
+        cuts = self.d.cut_planes
+        np.testing.assert_array_equal(cuts[0], [8])
+        np.testing.assert_array_equal(cuts[2], [4])
+
+    def test_all_boxes_order(self):
+        boxes = self.d.all_boxes()
+        assert len(boxes) == 8
+        assert boxes[0] == self.d.block_box((0, 0, 0))
+        assert boxes[1] == self.d.block_box((1, 0, 0))  # x fastest
+
+    def test_out_of_range_coords(self):
+        with pytest.raises(IndexError):
+            self.d.block_box((2, 0, 0))
+
+
+class TestAssignment:
+    def test_block_cyclic(self):
+        d = decompose((9, 9, 9), 8)
+        assert d.blocks_of_rank(0, 4) == [0, 4]
+        assert d.blocks_of_rank(3, 4) == [3, 7]
+        assert d.rank_of_block(5, 4) == 1
+
+    def test_one_block_per_process(self):
+        d = decompose((9, 9, 9), 8)
+        for b in range(8):
+            assert d.blocks_of_rank(b, 8) == [b]
+
+    def test_all_blocks_assigned_once(self):
+        d = decompose((17, 17, 17), 16)
+        seen = []
+        for r in range(5):
+            seen += d.blocks_of_rank(r, 5)
+        assert sorted(seen) == list(range(16))

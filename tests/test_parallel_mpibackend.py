@@ -1,0 +1,150 @@
+"""Tests for repro.parallel.mpibackend: the mpi4py adapter.
+
+No MPI exists in this environment, so the adapter is exercised against
+a thread-backed stub communicator with mpi4py's interface; on a real
+cluster only the communicator changes.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+import pytest
+
+from repro.parallel.comm import Comm, gather
+from repro.parallel.mpibackend import MPIBackend, drive_program
+from repro.parallel.runtime import VirtualMPI
+
+
+class StubWorld:
+    """Thread-backed MPI world exposing mpi4py-style communicators."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.mailboxes = {
+            (dest, src): queue.Queue()
+            for dest in range(size)
+            for src in range(size)
+        }
+        self.barrier = threading.Barrier(size)
+
+    def comm(self, rank: int) -> "StubComm":
+        return StubComm(self, rank)
+
+
+class StubComm:
+    def __init__(self, world: StubWorld, rank: int) -> None:
+        self.world = world
+        self.rank = rank
+
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.world.size
+
+    def send(self, payload, dest, tag) -> None:
+        self.world.mailboxes[(dest, self.rank)].put((tag, payload))
+
+    def recv(self, source, tag):
+        q = self.world.mailboxes[(self.rank, source)]
+        held = []
+        while True:
+            got_tag, payload = q.get(timeout=10)
+            if got_tag == tag:
+                for item in held:
+                    q.put(item)
+                return payload
+            held.append((got_tag, payload))
+
+    def Barrier(self) -> None:
+        self.world.barrier.wait(timeout=10)
+
+
+def _run_threaded(world: StubWorld, main, *args):
+    results = [None] * world.size
+    errors = []
+
+    def worker(rank):
+        try:
+            backend = MPIBackend(world.comm(rank))
+            results[rank] = backend.run(main, *args)
+        except Exception as exc:  # pragma: no cover - debug aid
+            errors.append((rank, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(r,))
+        for r in range(world.size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert not errors, errors
+    return results
+
+
+def ring_program(comm: Comm):
+    nxt = (comm.rank + 1) % comm.size
+    prv = (comm.rank - 1) % comm.size
+    yield comm.send(nxt, f"from-{comm.rank}", tag=1)
+    got = yield comm.recv(prv, tag=1)
+    yield comm.barrier()
+    return got
+
+
+def gather_program(comm: Comm):
+    vals = yield from gather(comm, comm.rank * 2, root=0)
+    return vals
+
+
+class TestDriveProgram:
+    def test_matches_virtual_runtime(self):
+        virtual = VirtualMPI(4).run(ring_program)
+        world = StubWorld(4)
+        threaded = _run_threaded(world, ring_program)
+        assert threaded == virtual
+
+    def test_gather_collective(self):
+        world = StubWorld(3)
+        results = _run_threaded(world, gather_program)
+        assert results[0] == [0, 2, 4]
+        assert results[1] is None
+
+    def test_unknown_request_rejected(self):
+        def bad(comm):
+            yield object()
+
+        with pytest.raises(TypeError):
+            drive_program(
+                bad(Comm(0, 1)),
+                send=lambda *a: None,
+                recv=lambda *a: None,
+                barrier=lambda: None,
+            )
+
+    def test_return_value_passthrough(self):
+        def trivial(comm):
+            return 42
+            yield  # pragma: no cover
+
+        out = drive_program(
+            trivial(Comm(0, 1)),
+            send=lambda *a: None,
+            recv=lambda *a: None,
+            barrier=lambda: None,
+        )
+        assert out == 42
+
+
+class TestBackendConstruction:
+    def test_missing_mpi4py_raises(self):
+        with pytest.raises(RuntimeError, match="mpi4py"):
+            MPIBackend()
+
+    def test_rank_size_from_comm(self):
+        world = StubWorld(2)
+        backend = MPIBackend(world.comm(1))
+        assert backend.rank == 1
+        assert backend.size == 2

@@ -1,0 +1,138 @@
+"""Tests for repro.parallel.radixk: merge-round schedules."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.decomposition import decompose
+from repro.parallel.radixk import (
+    MergeRound,
+    MergeSchedule,
+    full_merge_radices,
+)
+
+
+class TestFullMergeRadices:
+    def test_paper_examples(self):
+        # Table I: 2048 blocks -> [4, 8, 8, 8]
+        assert full_merge_radices(2048) == [4, 8, 8, 8]
+        # Table II best row: 256 blocks -> [4, 8, 8]
+        assert full_merge_radices(256) == [4, 8, 8]
+        # §VI-D1: 8192 blocks -> [2, 8, 8, 8, 8]
+        assert full_merge_radices(8192) == [2, 8, 8, 8, 8]
+
+    def test_small_counts(self):
+        assert full_merge_radices(1) == []
+        assert full_merge_radices(2) == [2]
+        assert full_merge_radices(8) == [8]
+        assert full_merge_radices(64) == [8, 8]
+
+    def test_max_radix_variants(self):
+        assert full_merge_radices(256, max_radix=4) == [4, 4, 4, 4]
+        assert full_merge_radices(512, max_radix=4) == [2, 4, 4, 4, 4]
+        assert full_merge_radices(8, max_radix=2) == [2, 2, 2]
+
+    def test_product_equals_block_count(self):
+        for n in [2, 16, 128, 4096]:
+            assert int(np.prod(full_merge_radices(n))) == n
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            full_merge_radices(12)
+        with pytest.raises(ValueError):
+            full_merge_radices(8, max_radix=3)
+
+
+class TestMergeRound:
+    def test_factor_validation(self):
+        MergeRound(8, (2, 2, 2))
+        with pytest.raises(ValueError):
+            MergeRound(8, (2, 2, 1))
+
+
+class TestMergeSchedule:
+    def setup_method(self):
+        self.d = decompose((17, 17, 17), 64, splits=(4, 4, 4))
+
+    def test_output_block_count(self):
+        s = MergeSchedule(self.d, [8, 8])
+        assert s.num_output_blocks == 1
+        s = MergeSchedule(self.d, [8])
+        assert s.num_output_blocks == 8
+        s = MergeSchedule(self.d, [])
+        assert s.num_output_blocks == 64
+
+    def test_radix8_factors_are_cubes(self):
+        s = MergeSchedule(self.d, [8, 8])
+        assert s.rounds[0].factors == (2, 2, 2)
+        assert s.rounds[1].factors == (2, 2, 2)
+
+    def test_radix_2_and_4_pick_largest_axes(self):
+        d = decompose((33, 17, 9), 8, splits=(4, 2, 1))
+        s = MergeSchedule(d, [2])
+        assert s.rounds[0].factors == (2, 1, 1)
+        s = MergeSchedule(d, [4])
+        assert s.rounds[0].factors == (2, 2, 1)
+
+    def test_infeasible_radix_rejected(self):
+        d = decompose((17, 9, 9), 2, splits=(2, 1, 1))
+        with pytest.raises(ValueError):
+            MergeSchedule(d, [4])
+        with pytest.raises(ValueError):
+            MergeSchedule(d, [5])
+
+    def test_groups_partition_blocks(self):
+        s = MergeSchedule(self.d, [8, 8])
+        seen = set()
+        groups = s.groups(0)
+        assert len(groups) == 8
+        for root, members in groups:
+            assert len(members) == 7
+            for m in [root] + members:
+                lid = self.d.linear_id(m)
+                assert lid not in seen
+                seen.add(lid)
+        assert len(seen) == 64
+
+    def test_groups_are_contiguous_boxes(self):
+        s = MergeSchedule(self.d, [8])
+        for root, members in s.groups(0):
+            coords = np.array([root] + members)
+            span = coords.max(axis=0) - coords.min(axis=0)
+            assert tuple(span) == (1, 1, 1)  # a 2x2x2 box
+
+    def test_root_is_smallest_member(self):
+        s = MergeSchedule(self.d, [8, 8])
+        for rnd in range(2):
+            for root, members in s.groups(rnd):
+                assert all(tuple(root) <= tuple(m) for m in members)
+
+    def test_second_round_groups_are_round1_roots(self):
+        s = MergeSchedule(self.d, [8, 8])
+        roots_r0 = {tuple(r) for r, _m in s.groups(0)}
+        for root, members in s.groups(1):
+            assert tuple(root) in roots_r0
+            for m in members:
+                assert tuple(m) in roots_r0
+
+    def test_cut_planes_shrink_after_rounds(self):
+        s = MergeSchedule(self.d, [8, 8])
+        full = s.cut_planes_after(0)
+        after1 = s.cut_planes_after(1)
+        after2 = s.cut_planes_after(2)
+        for axis in range(3):
+            assert len(after1[axis]) < len(full[axis])
+            assert set(after1[axis]).issubset(set(full[axis]))
+        assert all(len(after2[axis]) == 0 for axis in range(3))
+
+    def test_describe(self):
+        s = MergeSchedule(self.d, [4, 8])
+        assert s.describe() == "4 8"
+
+    def test_paper_table2_strategies_all_feasible(self):
+        """Every merge strategy of Table II must be schedulable on a
+        256-block decomposition."""
+        d = decompose((33, 33, 33), 256, splits=(8, 8, 4))
+        for radices in ([4, 8, 8], [8, 8, 4], [4, 4, 2, 8],
+                        [4, 4, 4, 4], [2] * 8):
+            s = MergeSchedule(d, radices)
+            assert s.num_output_blocks == 1

@@ -1,0 +1,114 @@
+"""Property-based tests of the end-to-end parallel pipeline.
+
+Hypothesis drives random fields, blockings, process counts, and merge
+schedules through the full pipeline and asserts the global invariants:
+Euler characteristic of full merges, output-block arithmetic, boundary
+flag hygiene, and serial agreement of extrema for clean fields.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import (
+    ParallelMSComplexPipeline,
+    compute_morse_smale_complex,
+)
+from repro.morse.validate import assert_ms_complex_valid
+
+
+@st.composite
+def pipeline_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    nx = draw(st.integers(5, 9))
+    ny = draw(st.integers(5, 9))
+    nz = draw(st.integers(5, 9))
+    rng = np.random.default_rng(seed)
+    field = rng.random((nx, ny, nz))
+    feasible_splits = []
+    for sx in (1, 2):
+        for sy in (1, 2):
+            for sz in (1, 2):
+                if (
+                    nx - 1 >= sx * 2 - 1
+                    and ny - 1 >= sy * 2 - 1
+                    and nz - 1 >= sz * 2 - 1
+                ):
+                    feasible_splits.append((sx, sy, sz))
+    splits = draw(st.sampled_from(feasible_splits))
+    blocks = int(np.prod(splits))
+    procs = draw(st.sampled_from(
+        sorted({1, 2, blocks, max(1, blocks // 2)})
+    ))
+    threshold = draw(st.sampled_from([0.0, 0.1, 0.5]))
+    return field, splits, blocks, min(procs, blocks), threshold
+
+
+@settings(max_examples=10, deadline=None)
+@given(pipeline_cases())
+def test_full_merge_invariants(case):
+    field, splits, blocks, procs, threshold = case
+    cfg = PipelineConfig(
+        num_blocks=blocks,
+        num_procs=procs,
+        splits=splits,
+        persistence_threshold=threshold,
+        merge_radices="full",
+    )
+    res = ParallelMSComplexPipeline(cfg).run(field)
+    assert res.num_output_blocks == 1
+    merged = res.merged_complexes[0]
+    assert_ms_complex_valid(merged)
+    # a fully merged contractible domain
+    assert merged.euler_characteristic() == 1
+    # no boundary flags survive a full merge
+    assert not any(merged.node_boundary[n] for n in merged.alive_nodes())
+    # every stage produced sane accounting
+    s = res.stats
+    assert s.total_time > 0
+    assert len(s.block_stats) == blocks
+    assert s.total_cells() == sum(b.cells for b in s.block_stats)
+
+
+@settings(max_examples=8, deadline=None)
+@given(pipeline_cases())
+def test_partial_merge_block_arithmetic(case):
+    field, splits, blocks, procs, threshold = case
+    if blocks < 2:
+        return
+    cfg = PipelineConfig(
+        num_blocks=blocks,
+        num_procs=procs,
+        splits=splits,
+        persistence_threshold=threshold,
+        merge_radices=[2],
+    )
+    res = ParallelMSComplexPipeline(cfg).run(field)
+    assert res.num_output_blocks == blocks // 2
+    for msc in res.output_blocks.values():
+        assert_ms_complex_valid(msc)
+
+
+@settings(max_examples=6, deadline=None)
+@given(st.integers(0, 2**31 - 1))
+def test_extrema_agreement_on_clean_fields(seed):
+    """Separated-feature fields: parallel extrema == serial extrema."""
+    rng = np.random.default_rng(seed)
+    t = np.linspace(0.0, 1.0, 11)
+    X, Y, Z = np.meshgrid(t, t, t, indexing="ij")
+    field = np.zeros((11, 11, 11))
+    for i in (0, 1):
+        for j in (0, 1):
+            c = np.array([0.25 + 0.5 * i, 0.25 + 0.5 * j, 0.5])
+            c += rng.uniform(-0.04, 0.04, 3)
+            field += np.exp(
+                -((X - c[0]) ** 2 + (Y - c[1]) ** 2 + (Z - c[2]) ** 2)
+                / 0.06**2
+            )
+    serial = compute_morse_smale_complex(field, 0.3)
+    cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.3)
+    parallel = ParallelMSComplexPipeline(cfg).run(field).merged_complexes[0]
+    s, p = serial.node_counts_by_index(), parallel.node_counts_by_index()
+    assert (s[0], s[3]) == (p[0], p[3])
