@@ -59,17 +59,22 @@ def sweep():
 
 
 def bench_fig6_panels(sweep, benchmark):
+    # compute(s)/merge(s) are modeled Blue Gene/P seconds from the
+    # virtual clock; wall(s)/cpu(s) are the measured compute stage of
+    # this run's executor (serial here — see bench_executor_speedup for
+    # the process-pool speedup study)
     lines = [
         f"{'complexity':>10} {'size':>5} {'procs':>6} "
         f"{'compute(s)':>11} {'merge(s)':>10} {'output(B)':>10} "
-        f"{'maxima':>7}"
+        f"{'maxima':>7} {'wall(s)':>9} {'cpu(s)':>9}"
     ]
     for (k, n, p), res in sorted(sweep.items()):
         s = res.stats
         maxima = res.combined_node_counts()[3]
         lines.append(
             f"{k:>10} {n:>5} {p:>6} {s.compute_time:>11.4f} "
-            f"{s.merge_time:>10.4f} {s.output_bytes:>10} {maxima:>7}"
+            f"{s.merge_time:>10.4f} {s.output_bytes:>10} {maxima:>7} "
+            f"{s.compute_wall_seconds:>9.3f} {s.compute_cpu_seconds:>9.3f}"
         )
     emit_table("fig6_scaling", lines)
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -14,7 +14,7 @@ Usage::
 
 from __future__ import annotations
 
-from repro import ParallelMSComplexPipeline, PipelineConfig
+from repro import compute
 from repro.data import rayleigh_taylor_proxy
 
 
@@ -22,6 +22,8 @@ def main() -> None:
     field = rayleigh_taylor_proxy((33, 33, 33), num_plumes=16)
     print(f"Rayleigh-Taylor proxy: {field.shape}")
 
+    # merge_radix accepts a single radix (full merge), an explicit
+    # per-round sequence, or "none" to skip the merge stage
     strategies: list[tuple[str, object]] = [
         ("full  [8 8]", [8, 8]),
         ("full  [2 4 8]", [2, 4, 8]),
@@ -34,12 +36,9 @@ def main() -> None:
     print(f"\n{'strategy':>14} {'out blocks':>10} {'merge time':>11} "
           f"{'round times':>28} {'output bytes':>13}")
     for name, radices in strategies:
-        cfg = PipelineConfig(
-            num_blocks=64,
-            persistence_threshold=0.05,
-            merge_radices=radices,
+        result = compute(
+            field, persistence=0.05, ranks=64, merge_radix=radices
         )
-        result = ParallelMSComplexPipeline(cfg).run(field)
         rounds = result.stats.merge_round_times()
         print(
             f"{name:>14} {result.num_output_blocks:>10} "

@@ -2,8 +2,9 @@
 
 Runs in a few seconds.  Demonstrates:
 
-1. the serial entry point on a synthetic field,
-2. the parallel pipeline with a full radix-8 merge,
+1. the unified ``repro.compute`` facade on a synthetic field,
+2. the same call routed through the parallel pipeline (8 ranks, full
+   radix-8 merge),
 3. that both computations find the same features,
 4. basic feature queries on the result.
 
@@ -14,13 +15,7 @@ Usage::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import (
-    ParallelMSComplexPipeline,
-    PipelineConfig,
-    compute_morse_smale_complex,
-)
+from repro import compute
 from repro.analysis import arcs_by_family, significant_extrema
 from repro.data import gaussian_bumps_field
 
@@ -32,7 +27,8 @@ def main() -> None:
           f"range [{field.min():.3f}, {field.max():.3f}]")
 
     # --- serial computation -------------------------------------------
-    msc = compute_morse_smale_complex(field, persistence_threshold=0.1)
+    # ranks=1 (the default) routes through the single-block serial path
+    msc = compute(field, persistence=0.1).merged_complexes[0]
     print("\nserial MS complex:")
     print(" ", msc.summary())
 
@@ -44,15 +40,12 @@ def main() -> None:
     ridge_arcs = arcs_by_family(msc, upper_index=3)
     print(f"  2-saddle->maximum (ridge) arcs: {len(ridge_arcs)}")
 
-    # --- parallel computation (8 blocks, full merge) -------------------
-    cfg = PipelineConfig(
-        num_blocks=8,
-        persistence_threshold=0.1,
-        merge_radices="full",
-    )
-    result = ParallelMSComplexPipeline(cfg).run(field)
+    # --- parallel computation (8 ranks, full radix-8 merge) ------------
+    # workers>1 would additionally fan the per-block compute stage out
+    # over OS processes — bit-identical results either way
+    result = compute(field, persistence=0.1, ranks=8, merge_radix=8)
     merged = result.merged_complexes[0]
-    print("\nparallel MS complex (8 blocks, radix-8 full merge):")
+    print("\nparallel MS complex (8 ranks, radix-8 full merge):")
     print(" ", merged.summary())
     print("  virtual stage times:", {
         k: round(v, 4) for k, v in result.stats.stage_breakdown().items()

@@ -10,28 +10,35 @@ per-block discrete-gradient / MS-complex computation followed by radix-k
 merge rounds — together with every substrate it depends on: a cubical
 cell complex over structured grids, discrete Morse theory (gradient
 construction, V-path tracing, persistence simplification), a virtual MPI
-runtime, parallel block I/O, a Blue Gene/P machine model, and dataset
+runtime, a real shared-memory process-pool backend for the compute
+stage, parallel block I/O, a Blue Gene/P machine model, and dataset
 generators for the paper's synthetic and scientific workloads.
 
-Quickstart::
+Quickstart (the unified facade, see ``docs/API.md``)::
 
     import numpy as np
-    from repro import compute_morse_smale_complex
+    from repro import compute
     from repro.data import sinusoidal_field
 
     field = sinusoidal_field(points_per_side=32, features_per_side=4)
-    msc = compute_morse_smale_complex(field)
-    print(msc.summary())
-
-Parallel pipeline::
-
-    from repro import ParallelMSComplexPipeline, PipelineConfig
-
-    cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.05)
-    result = ParallelMSComplexPipeline(cfg).run(field)
+    result = compute(field, persistence=0.05)
     print(result.merged_complexes[0].summary())
+
+Parallel execution — 8 virtual ranks merged radix-8, compute stage on a
+4-process worker pool (bit-identical to the serial run)::
+
+    result = compute(field, persistence=0.05, ranks=8, workers=4,
+                     merge_radix=8)
+    print(result.stats.describe())
+
+The lower-level entry points (``compute_morse_smale_complex`` for a bare
+serial complex with its cancellation hierarchy,
+``ParallelMSComplexPipeline`` for full configuration control) remain
+available below the facade.
 """
 
+from repro import api
+from repro.api import compute
 from repro.core.config import MergeSchedule, PipelineConfig
 from repro.core.pipeline import (
     ParallelMSComplexPipeline,
@@ -51,6 +58,8 @@ __all__ = [
     "PipelineConfig",
     "PipelineResult",
     "StructuredGrid",
+    "api",
+    "compute",
     "compute_discrete_gradient",
     "compute_morse_smale_complex",
     "__version__",

@@ -1,0 +1,125 @@
+"""Unified high-level facade: one entry point for every execution mode.
+
+Historically the package exposed three inconsistent ways to compute an
+MS complex — the serial :func:`repro.core.pipeline.compute_morse_smale_complex`,
+the :class:`~repro.core.pipeline.ParallelMSComplexPipeline` driver, and
+the ``repro.cli`` command line — each with its own parameter spelling.
+:func:`compute` replaces them for library users: a single keyword-only
+call that routes to the in-process serial path when
+``ranks == workers == 1`` and to the full parallel pipeline otherwise,
+always returning a :class:`~repro.core.result.PipelineResult`.
+
+::
+
+    import repro
+    result = repro.compute(field, persistence=0.05, ranks=8, workers=4)
+    msc = result.merged_complexes[0]
+
+``ranks`` is the number of virtual MPI processes (= blocks of the
+bisection decomposition, the paper's one-block-per-process setup);
+``workers`` is the width of the real shared-memory worker pool the
+compute stage fans out over (see :mod:`repro.parallel.executor`).  The
+two compose: ranks model the paper's distributed machine, workers use
+this machine's cores.  Results are bit-identical across worker counts.
+
+The legacy entry points remain importable; positional-argument use of
+``compute_morse_smale_complex`` and the short ``PipelineConfig`` field
+aliases (``persistence``, ``blocks``, ``procs``) are deprecated and emit
+:class:`DeprecationWarning` for one release (see ``docs/API.md``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import ParallelMSComplexPipeline
+from repro.core.result import PipelineResult
+from repro.io.volume import VolumeSpec
+from repro.mesh.grid import StructuredGrid
+
+__all__ = ["compute"]
+
+
+def compute(
+    values: np.ndarray | StructuredGrid | VolumeSpec,
+    *,
+    persistence: float = 0.0,
+    workers: int = 1,
+    ranks: int = 1,
+    merge_radix: int | Sequence[int] | str = 2,
+    validate: bool = False,
+) -> PipelineResult:
+    """Compute the Morse-Smale complex of a scalar field.
+
+    Parameters
+    ----------
+    values:
+        The input field: a 3D vertex array, a
+        :class:`~repro.mesh.grid.StructuredGrid`, or a
+        :class:`~repro.io.volume.VolumeSpec` pointing at a raw volume
+        file (read block-wise by the workers, the paper's parallel-I/O
+        path).
+    persistence:
+        Simplification threshold (absolute function-value difference).
+    workers:
+        Shared-memory worker-pool width for the compute stage; ``1``
+        runs in-process, ``> 1`` fans blocks out over OS processes.
+        Purely a scheduling choice — results are bit-identical.
+    ranks:
+        Number of virtual MPI processes / decomposition blocks (a power
+        of two, per the paper's bisection).  ``1`` computes a single
+        block with no merge stage.
+    merge_radix:
+        Merge-schedule control when ``ranks > 1``: an int in {2, 4, 8}
+        selects a full merge built from rounds of at most that radix; an
+        explicit sequence of radices runs a custom (possibly partial)
+        schedule; ``"none"`` skips merging and leaves ``ranks`` output
+        blocks.
+    validate:
+        Run structural invariant checks after every stage (slow).
+
+    Returns
+    -------
+    PipelineResult
+        The merged complex(es), decomposition, schedule, and stats, for
+        every routing — serial runs included — so downstream code never
+        branches on how the result was produced.
+    """
+    if ranks < 1:
+        raise ValueError("ranks must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if isinstance(merge_radix, (int, np.integer)):
+        if merge_radix not in (2, 4, 8):
+            raise ValueError("merge_radix must be 2, 4, or 8")
+        radices: Sequence[int] | str = "full"
+        max_radix = int(merge_radix)
+    elif merge_radix == "none":
+        radices, max_radix = "none", 8
+    elif isinstance(merge_radix, str):
+        raise ValueError(
+            f"merge_radix must be an int, a radix sequence, or 'none'; "
+            f"got {merge_radix!r}"
+        )
+    else:
+        radices, max_radix = [int(r) for r in merge_radix], 8
+
+    cfg = PipelineConfig(
+        num_blocks=ranks,
+        num_procs=ranks,
+        persistence_threshold=persistence,
+        merge_radices=radices if ranks > 1 else "none",
+        max_radix=max_radix,
+        validate=validate,
+        workers=workers,
+        # ranks == workers == 1 is the serial path: single block, no
+        # pool, no merge rounds; anything else runs the full pipeline
+        executor="serial" if workers == 1 else "process",
+    )
+    pipeline = ParallelMSComplexPipeline(cfg)
+    if isinstance(values, VolumeSpec):
+        return pipeline.run(volume=values)
+    return pipeline.run(values)

@@ -42,6 +42,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of blocks (power of two)")
     c.add_argument("--procs", type=int, default=None,
                    help="virtual processes (default: one per block)")
+    c.add_argument("--workers", type=int, default=1,
+                   help="shared-memory worker processes for the compute "
+                        "stage (default: 1, serial)")
+    c.add_argument("--executor", default="auto",
+                   choices=("auto", "serial", "process"),
+                   help="compute-stage backend (default: auto — a "
+                        "process pool exactly when --workers > 1)")
     c.add_argument("--persistence", type=float, default=0.0,
                    help="simplification threshold")
     c.add_argument("--radices", nargs="*", type=int, default=None,
@@ -67,25 +74,51 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(message: str) -> int:
+    """Print a readable error to stderr; the non-zero CLI exit code."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
 def _cmd_compute(args) -> int:
+    import os
+
     from repro.core.config import PipelineConfig
     from repro.core.pipeline import ParallelMSComplexPipeline
     from repro.io.volume import VolumeSpec
 
     spec = VolumeSpec(args.volume, tuple(args.dims), args.dtype)
+    try:
+        size = os.stat(args.volume).st_size
+    except OSError as exc:
+        return _fail(
+            f"cannot read volume {args.volume!r}: "
+            f"{exc.strerror or exc}"
+        )
+    if size != spec.nbytes:
+        return _fail(
+            f"volume {args.volume!r} holds {size} bytes but dims "
+            f"{tuple(args.dims)} with dtype {args.dtype} require "
+            f"{spec.nbytes}"
+        )
     if args.no_merge:
         radices = "none"
     elif args.radices is None:
         radices = "full"
     else:
         radices = args.radices
-    cfg = PipelineConfig(
-        num_blocks=args.blocks,
-        num_procs=args.procs,
-        persistence_threshold=args.persistence,
-        merge_radices=radices,
-    )
-    result = ParallelMSComplexPipeline(cfg).run(volume=spec)
+    try:
+        cfg = PipelineConfig(
+            num_blocks=args.blocks,
+            num_procs=args.procs,
+            persistence_threshold=args.persistence,
+            merge_radices=radices,
+            workers=args.workers,
+            executor=args.executor,
+        )
+        result = ParallelMSComplexPipeline(cfg).run(volume=spec)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
     print(result.stats.describe())
     counts = result.combined_node_counts()
     print(

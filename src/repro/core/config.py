@@ -2,15 +2,18 @@
 
 Bundles the tunable parameters the paper exposes: "blocking strategy,
 merging strategy, and simplification level of the topology" (§I), plus
-the virtual machine parameters of this reproduction.
+the virtual machine parameters of this reproduction and the
+shared-memory execution backend of the compute stage.
 """
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.machine.bgp import BlueGenePParams
+from repro.parallel.executor import EXECUTOR_KINDS
 from repro.parallel.radixk import MergeSchedule, full_merge_radices
 
 __all__ = ["PipelineConfig", "MergeSchedule"]
@@ -51,6 +54,21 @@ class PipelineConfig:
         matches the paper's handling of boundary artifacts, whose
         cancellation "directly connects important critical points in the
         interiors of neighboring blocks".
+    workers:
+        Width of the shared-memory worker pool the compute stage runs
+        on.  ``1`` (default) computes blocks serially in-process; ``>1``
+        fans blocks out over OS processes.  Results are bit-identical
+        either way — the boundary-restricted pairing makes every block
+        independent, so this is purely a scheduling choice.
+    executor:
+        Compute-stage backend: ``"auto"`` (worker pool exactly when
+        ``workers > 1``), ``"serial"``, or ``"process"``.
+
+    Deprecated keyword aliases ``persistence`` (for
+    ``persistence_threshold``), ``blocks`` (``num_blocks``) and
+    ``procs`` (``num_procs``) are accepted with a
+    :class:`DeprecationWarning` for one release; new code should use the
+    canonical names or the :func:`repro.api.compute` facade.
     """
 
     num_blocks: int
@@ -62,6 +80,8 @@ class PipelineConfig:
     machine: BlueGenePParams = field(default_factory=BlueGenePParams)
     validate: bool = False
     simplify_at_zero_persistence: bool = True
+    workers: int = 1
+    executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_blocks < 1:
@@ -75,10 +95,24 @@ class PipelineConfig:
                 raise ValueError(
                     "merge_radices must be 'full', 'none', or a sequence"
                 )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, "
+                f"got {self.executor!r}"
+            )
 
     @property
     def resolved_num_procs(self) -> int:
         return self.num_procs if self.num_procs is not None else self.num_blocks
+
+    @property
+    def resolved_executor(self) -> str:
+        """Concrete executor kind after resolving ``"auto"``."""
+        if self.executor == "auto":
+            return "process" if self.workers > 1 else "serial"
+        return self.executor
 
     def resolve_radices(self) -> list[int]:
         """Concrete list of merge-round radices."""
@@ -89,3 +123,36 @@ class PipelineConfig:
                 return []
             return full_merge_radices(self.num_blocks, self.max_radix)
         return [int(r) for r in self.merge_radices]
+
+
+#: deprecated keyword alias -> canonical field (one-release shim)
+_FIELD_ALIASES = {
+    "persistence": "persistence_threshold",
+    "blocks": "num_blocks",
+    "procs": "num_procs",
+}
+
+_dataclass_init = PipelineConfig.__init__
+
+
+def _init_with_aliases(self, *args, **kwargs):
+    for alias, canonical in _FIELD_ALIASES.items():
+        if alias in kwargs:
+            if canonical in kwargs:
+                raise TypeError(
+                    f"PipelineConfig() got both {alias!r} and its "
+                    f"canonical name {canonical!r}"
+                )
+            warnings.warn(
+                f"PipelineConfig({alias}=...) is deprecated; "
+                f"use {canonical}=... (or the repro.api.compute facade)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            kwargs[canonical] = kwargs.pop(alias)
+    _dataclass_init(self, *args, **kwargs)
+
+
+_init_with_aliases.__doc__ = _dataclass_init.__doc__
+_init_with_aliases.__wrapped__ = _dataclass_init
+PipelineConfig.__init__ = _init_with_aliases

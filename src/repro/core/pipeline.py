@@ -21,11 +21,24 @@ discrete gradient, tracing, simplification and gluing actually run), and
 each rank additionally advances a *virtual clock* priced by the Blue
 Gene/P cost model, from which the benchmark harness reads paper-style
 stage timings.
+
+The compute stage (the ``for all local blocks`` loop) is factored into a
+pure, pickle-safe worker function, :func:`compute_block`, so it can run
+on a real shared-memory worker pool (see
+:mod:`repro.parallel.executor`): the driver fans all block specs out over
+the configured executor *before* the virtual ranks run, and the rank
+programs consume the resulting per-block payloads — serialized with the
+same :func:`~repro.core.merge.pack_complex` format the merge rounds
+exchange — exactly as if they had computed them locally.  Because the
+boundary-restricted gradient pairing makes every block's result
+independent of all others, the executor choice is pure scheduling:
+serial and pooled runs are bit-identical.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -44,7 +57,7 @@ from repro.io.mscfile import serialize_payload
 from repro.io.volume import VolumeSpec, read_block
 from repro.machine.costmodel import ComputeWork, CostModel, MergeWork
 from repro.mesh.cubical import CubicalComplex
-from repro.mesh.grid import StructuredGrid
+from repro.mesh.grid import Box, StructuredGrid
 from repro.morse.gradient import compute_discrete_gradient
 from repro.morse.msc import MorseSmaleComplex
 from repro.morse.simplify import simplify_ms_complex
@@ -55,14 +68,22 @@ from repro.morse.validate import (
     assert_ms_complex_valid,
 )
 from repro.parallel.decomposition import BlockDecomposition, decompose
+from repro.parallel.executor import make_executor
 from repro.parallel.radixk import MergeSchedule
-from repro.parallel.runtime import VirtualMPI
+from repro.parallel.runtime import VirtualMPI, pool_makespan
 
-__all__ = ["ParallelMSComplexPipeline", "compute_morse_smale_complex"]
+__all__ = [
+    "BlockPayload",
+    "BlockSpec",
+    "ParallelMSComplexPipeline",
+    "compute_block",
+    "compute_morse_smale_complex",
+]
 
 
 def compute_morse_smale_complex(
     values: np.ndarray | StructuredGrid,
+    *args: Any,
     persistence_threshold: float = 0.0,
     simplify: bool = True,
     validate: bool = False,
@@ -73,7 +94,32 @@ def compute_morse_smale_complex(
     reference the parallel computation is validated against.  Returns a
     compacted complex; the cancellation hierarchy remains available in
     ``msc.hierarchy``.
+
+    ``persistence_threshold``, ``simplify`` and ``validate`` are
+    keyword-only; passing them positionally is deprecated (accepted with
+    a :class:`DeprecationWarning` for one release).
     """
+    if args:
+        names = ("persistence_threshold", "simplify", "validate")
+        if len(args) > len(names):
+            raise TypeError(
+                "compute_morse_smale_complex() takes at most "
+                f"{1 + len(names)} positional arguments "
+                f"({1 + len(args)} given)"
+            )
+        warnings.warn(
+            "passing compute_morse_smale_complex() options positionally "
+            "is deprecated; use keyword arguments "
+            "(persistence_threshold=, simplify=, validate=)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        overrides = dict(zip(names, args))
+        persistence_threshold = overrides.get(
+            "persistence_threshold", persistence_threshold
+        )
+        simplify = overrides.get("simplify", simplify)
+        validate = overrides.get("validate", validate)
     grid = values if isinstance(values, StructuredGrid) else StructuredGrid(values)
     cx = CubicalComplex(grid.values)
     field = compute_discrete_gradient(cx)
@@ -91,6 +137,108 @@ def compute_morse_smale_complex(
     return msc
 
 
+# ---------------------------------------------------------------------------
+# the compute-stage worker (pure and pickle-safe)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Everything needed to compute one block, picklable and immutable.
+
+    Exactly one of ``values`` (the block's vertex samples, shared layers
+    included) and ``volume`` (a raw volume file the worker reads its own
+    subarray from, the parallel-I/O path of §IV-B) is set.
+    """
+
+    block_id: int
+    box: Box
+    refined_origin: tuple[int, int, int]
+    global_refined_dims: tuple[int, int, int]
+    cut_planes: tuple[np.ndarray, np.ndarray, np.ndarray]
+    persistence_threshold: float
+    simplify_at_zero_persistence: bool
+    validate: bool
+    values: np.ndarray | None = None
+    volume: VolumeSpec | None = None
+
+
+@dataclass
+class BlockPayload:
+    """Picklable result of one block's compute stage.
+
+    Carries the serialized complex (the same
+    :func:`~repro.core.merge.pack_complex` bytes the merge rounds
+    exchange) plus the exact work counters the cost model and the stats
+    records need.
+    """
+
+    block_id: int
+    blob: bytes
+    cells: int
+    critical_counts: tuple[int, int, int, int]
+    nodes_after_simplify: int
+    arcs_after_simplify: int
+    geometry_cells_traced: int
+    cancellations: int
+    real_seconds: float
+
+
+def compute_block(spec: BlockSpec) -> BlockPayload:
+    """Compute one block: read → gradient → MS complex → simplify.
+
+    A pure function of its spec — no shared state, picklable input and
+    output — so it can run unchanged in this process or on any worker of
+    a process pool; every execution of the same spec produces the same
+    payload bytes (§IV-C's boundary-restricted pairing makes the result
+    independent of all other blocks).
+    """
+    if (spec.values is None) == (spec.volume is None):
+        raise ValueError("spec must carry exactly one of values/volume")
+    if spec.values is not None:
+        block_values = np.asarray(spec.values, dtype=np.float64)
+    else:
+        block_values = read_block(spec.volume, spec.box)
+    t0 = time.perf_counter()
+    cx = CubicalComplex(
+        block_values,
+        refined_origin=spec.refined_origin,
+        global_refined_dims=spec.global_refined_dims,
+        cut_planes=spec.cut_planes,
+    )
+    gradient = compute_discrete_gradient(cx)
+    if spec.validate:
+        assert_gradient_field_valid(gradient)
+        assert_acyclic(gradient)
+    msc = extract_ms_complex(gradient)
+    geometry_traced = msc.total_geometry_length()
+    crit_counts = gradient.critical_counts()
+    if (
+        spec.persistence_threshold == 0
+        and not spec.simplify_at_zero_persistence
+    ):
+        cancels = []
+    else:
+        cancels = simplify_ms_complex(
+            msc, spec.persistence_threshold, respect_boundary=True
+        )
+    msc.compact()
+    if spec.validate:
+        assert_ms_complex_valid(msc)
+    real = time.perf_counter() - t0
+    return BlockPayload(
+        block_id=spec.block_id,
+        blob=pack_complex(msc),
+        cells=cx.num_cells,
+        critical_counts=crit_counts,
+        nodes_after_simplify=msc.num_alive_nodes(),
+        arcs_after_simplify=msc.num_alive_arcs(),
+        geometry_cells_traced=geometry_traced,
+        cancellations=len(cancels),
+        real_seconds=real,
+    )
+
+
 @dataclass
 class _RunContext:
     """Inputs shared by all ranks of one run (read-only)."""
@@ -99,9 +247,9 @@ class _RunContext:
     decomp: BlockDecomposition
     schedule: MergeSchedule
     model: CostModel
-    grid: StructuredGrid | None
-    volume: VolumeSpec | None
     vertex_bytes: int  # bytes per vertex sample on storage
+    #: precomputed compute-stage payloads, one per block
+    payloads: dict[int, BlockPayload]
     #: per-round groups as (root_lid, root_rank, [(member_lid, member_rank)])
     groups_by_round: list[list[tuple[int, int, list[tuple[int, int]]]]] = field(
         default_factory=list
@@ -120,10 +268,48 @@ class ParallelMSComplexPipeline:
         cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.05)
         result = ParallelMSComplexPipeline(cfg).run(field)
         merged = result.merged_complexes[0]
+
+    With ``workers > 1`` the compute stage fans out over a pool of OS
+    processes (see :mod:`repro.parallel.executor`); the merge rounds
+    still run under the deterministic virtual MPI and consume the
+    per-block payloads unchanged.
     """
 
     def __init__(self, config: PipelineConfig) -> None:
         self.config = config
+
+    def _block_specs(
+        self,
+        decomp: BlockDecomposition,
+        grid: StructuredGrid | None,
+        volume: VolumeSpec | None,
+    ) -> list[BlockSpec]:
+        """Picklable per-block work orders, in block-id order."""
+        cfg = self.config
+        specs = []
+        for bid in range(decomp.num_blocks):
+            box = decomp.block_box(decomp.block_coords(bid))
+            specs.append(
+                BlockSpec(
+                    block_id=bid,
+                    box=box,
+                    refined_origin=box.refined_origin,
+                    global_refined_dims=decomp.global_refined_dims,
+                    cut_planes=decomp.cut_planes,
+                    persistence_threshold=cfg.persistence_threshold,
+                    simplify_at_zero_persistence=(
+                        cfg.simplify_at_zero_persistence
+                    ),
+                    validate=cfg.validate,
+                    values=(
+                        np.array(grid.extract_block(box), dtype=np.float64)
+                        if grid is not None
+                        else None
+                    ),
+                    volume=volume,
+                )
+            )
+        return specs
 
     def run(
         self,
@@ -171,19 +357,30 @@ class ParallelMSComplexPipeline:
             groups_by_round.append(rows)
             cuts_by_round.append(schedule.cut_planes_after(r + 1))
 
+        t0 = time.perf_counter()
+
+        # ---- compute stage, on the configured executor ----------------
+        specs = self._block_specs(decomp, grid, volume)
+        executor = make_executor(cfg.resolved_executor, cfg.workers)
+        tc0 = time.perf_counter()
+        try:
+            payload_list = executor.map_blocks(compute_block, specs)
+        finally:
+            executor.close()
+        compute_wall = time.perf_counter() - tc0
+        payloads = {p.block_id: p for p in payload_list}
+
         ctx = _RunContext(
             cfg=cfg,
             decomp=decomp,
             schedule=schedule,
             model=model,
-            grid=grid,
-            volume=volume,
             vertex_bytes=vertex_bytes,
+            payloads=payloads,
             groups_by_round=groups_by_round,
             cuts_by_round=cuts_by_round,
         )
 
-        t0 = time.perf_counter()
         mpi = VirtualMPI(num_procs)
         rank_returns = mpi.run(_rank_main, ctx)
         wall = time.perf_counter() - t0
@@ -194,6 +391,9 @@ class ParallelMSComplexPipeline:
             radices=[r.radix for r in schedule.rounds],
             real_seconds_total=wall,
             message_bytes=sum(m.nbytes for m in mpi.message_log),
+            workers=cfg.workers,
+            executor=cfg.resolved_executor,
+            compute_wall_seconds=compute_wall,
         )
         output_blocks: dict[int, MorseSmaleComplex] = {}
         for ret in rank_returns:
@@ -220,12 +420,6 @@ class ParallelMSComplexPipeline:
 # ---------------------------------------------------------------------------
 
 
-def _read_block_values(ctx: _RunContext, box) -> np.ndarray:
-    if ctx.grid is not None:
-        return np.array(ctx.grid.extract_block(box), dtype=np.float64)
-    return read_block(ctx.volume, box)
-
-
 def _message_tag(round_idx: int, member_block: int, num_blocks: int) -> int:
     """Unique tag per (round, member block)."""
     return round_idx * num_blocks + member_block
@@ -242,69 +436,46 @@ def _rank_main(comm, ctx: _RunContext):
     clock = 0.0
 
     # ---- read data blocks (§IV-B) -------------------------------------
-    block_values: dict[int, np.ndarray] = {}
     read_bytes = 0
     for bid in my_blocks:
         box = decomp.block_box(decomp.block_coords(bid))
-        block_values[bid] = _read_block_values(ctx, box)
         read_bytes += box.num_vertices * ctx.vertex_bytes
     timeline.read = model.read_time(read_bytes)
     clock += timeline.read
 
     # ---- compute stage (§IV-C,D,E) -------------------------------------
+    # Payloads were produced by the executor (this rank's blocks, computed
+    # by :func:`compute_block` on the configured backend); here the rank
+    # unpacks its own and charges the virtual clock with the makespan of
+    # its blocks over its `workers`-wide pool rather than the serial sum.
     complexes: dict[int, MorseSmaleComplex] = {}
-    compute_virtual = 0.0
+    block_virtual: list[float] = []
     for bid in my_blocks:
-        box = decomp.block_box(decomp.block_coords(bid))
-        t0 = time.perf_counter()
-        cx = CubicalComplex(
-            block_values.pop(bid),
-            refined_origin=box.refined_origin,
-            global_refined_dims=decomp.global_refined_dims,
-            cut_planes=decomp.cut_planes,
-        )
-        field = compute_discrete_gradient(cx)
-        if cfg.validate:
-            assert_gradient_field_valid(field)
-            assert_acyclic(field)
-        msc = extract_ms_complex(field)
-        geometry_traced = msc.total_geometry_length()
-        crit_counts = field.critical_counts()
-        if cfg.persistence_threshold == 0 and not cfg.simplify_at_zero_persistence:
-            cancels = []
-        else:
-            cancels = simplify_ms_complex(
-                msc, cfg.persistence_threshold, respect_boundary=True
-            )
-        msc.compact()
-        if cfg.validate:
-            assert_ms_complex_valid(msc)
-        real = time.perf_counter() - t0
+        payload = ctx.payloads.pop(bid)
         work = ComputeWork(
-            cells=cx.num_cells,
-            geometry_cells=geometry_traced,
-            cancellations=len(cancels),
+            cells=payload.cells,
+            geometry_cells=payload.geometry_cells_traced,
+            cancellations=payload.cancellations,
         )
         virt = model.compute_time(work)
-        compute_virtual += virt
-        complexes[bid] = msc
+        block_virtual.append(virt)
+        complexes[bid] = unpack_complex(payload.blob)
         block_stats.append(
             BlockComputeStats(
                 block_id=bid,
                 rank=comm.rank,
-                cells=cx.num_cells,
-                critical_counts=crit_counts,
-                nodes_after_simplify=msc.num_alive_nodes(),
-                arcs_after_simplify=msc.num_alive_arcs(),
-                geometry_cells_traced=geometry_traced,
-                cancellations=len(cancels),
-                real_seconds=real,
+                cells=payload.cells,
+                critical_counts=payload.critical_counts,
+                nodes_after_simplify=payload.nodes_after_simplify,
+                arcs_after_simplify=payload.arcs_after_simplify,
+                geometry_cells_traced=payload.geometry_cells_traced,
+                cancellations=payload.cancellations,
+                real_seconds=payload.real_seconds,
                 virtual_seconds=virt,
             )
         )
-        del cx, field
-    timeline.compute = compute_virtual
-    clock += compute_virtual
+    timeline.compute = pool_makespan(block_virtual, cfg.workers)
+    clock += timeline.compute
 
     # ---- merge rounds (§IV-F) -------------------------------------------
     nb = decomp.num_blocks

@@ -83,6 +83,12 @@ class PipelineStats:
     output_bytes: int = 0
     message_bytes: int = 0
     real_seconds_total: float = 0.0
+    #: shared-memory worker-pool width the compute stage ran on
+    workers: int = 1
+    #: concrete compute-stage backend ("serial" or "process")
+    executor: str = "serial"
+    #: real wall-clock seconds of the compute stage across all blocks
+    compute_wall_seconds: float = 0.0
 
     # -- virtual stage times (paper-style reporting) ---------------------
 
@@ -134,6 +140,24 @@ class PipelineStats:
             "total": self.total_time,
         }
 
+    # -- real (measured) compute-stage times ------------------------------
+
+    @property
+    def compute_cpu_seconds(self) -> float:
+        """Real CPU seconds of the compute stage, summed over blocks."""
+        return sum(b.real_seconds for b in self.block_stats)
+
+    @property
+    def compute_speedup(self) -> float:
+        """Real compute-stage speedup: per-block CPU sum over wall-clock.
+
+        1.0 for a serial run (up to timer noise); approaches ``workers``
+        when the pool parallelizes perfectly on enough physical cores.
+        """
+        if self.compute_wall_seconds <= 0:
+            return 1.0
+        return self.compute_cpu_seconds / self.compute_wall_seconds
+
     # -- structure summaries ----------------------------------------------
 
     def total_cells(self) -> int:
@@ -151,7 +175,11 @@ class PipelineStats:
             f"  virtual: read={s['read']:.3f}s compute={s['compute']:.3f}s "
             f"merge={s['merge']:.3f}s write={s['write']:.3f}s "
             f"total={s['total']:.3f}s",
-            f"  real: {self.real_seconds_total:.3f}s wall",
+            f"  real: {self.real_seconds_total:.3f}s wall; compute stage "
+            f"{self.compute_wall_seconds:.3f}s wall / "
+            f"{self.compute_cpu_seconds:.3f}s cpu "
+            f"({self.executor}, workers={self.workers}, "
+            f"speedup={self.compute_speedup:.2f}x)",
             f"  output: {self.output_bytes} bytes, "
             f"messages: {self.message_bytes} bytes",
         ]

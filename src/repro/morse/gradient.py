@@ -82,46 +82,54 @@ def compute_discrete_gradient(complex_: CubicalComplex) -> GradientField:
     sx, sy, sz = complex_.steps
     dircode = {sx: 0, -sx: 1, sy: 2, -sy: 3, sz: 4, -sz: 5}
 
-    # cells grouped by (signature popcount, dimension), each in SoS order
+    # Sweep order: signature classes from most constrained to least
+    # (popcount 3, 2, 1, 0), then increasing dimension, then SoS rank.
+    # One vectorized lexsort over all valid cells replaces the former 16
+    # per-(class, dimension) masked argsorts, so a worker process spends
+    # its time in the greedy loop below, not in sorting.  The SoS rank is
+    # a total order (global address tie-break), so the permutation — and
+    # hence the constructed field — is exactly the grouped order.
     sig_np = complex_.boundary_sig
     pop_of_sig = np.array(_POPCOUNT3 + (0,) * 248, dtype=np.uint8)
-    sig_pop = pop_of_sig[sig_np]
+    valid_cells = np.flatnonzero(valid)
+    neg_pop = -pop_of_sig[sig_np[valid_cells]].astype(np.int8)
+    # np.lexsort: last key is primary
+    perm = np.lexsort(
+        (rank[valid_cells], complex_.cell_dim[valid_cells], neg_pop)
+    )
+    sweep = valid_cells[perm].tolist()
 
-    for pop in (3, 2, 1, 0):
-        for d in range(4):
-            cells = complex_.cells_by_dim[d]
-            group = cells[sig_pop[cells] == pop].tolist()
-            for a in group:
-                if assigned[a]:
-                    continue
-                sa = sig[a]
-                best = -1
-                best_rank = None
-                for off in cofacet_offsets[celltype[a]]:
-                    b = a + off
-                    # sentinel cells carry signature 255, so they can
-                    # never match sa and are skipped without a bounds test
-                    if assigned[b] or sig[b] != sa:
-                        continue
-                    ok = True
-                    for foff in facet_offsets[celltype[b]]:
-                        f = b + foff
-                        if f != a and not assigned[f]:
-                            ok = False
-                            break
-                    if ok:
-                        rb = rank[b]
-                        if best < 0 or rb < best_rank:
-                            best = b
-                            best_rank = rb
-                if best >= 0:
-                    pairing[a] = dircode[best - a]
-                    pairing[best] = dircode[a - best]
-                    assigned[a] = 1
-                    assigned[best] = 1
-                else:
-                    pairing[a] = CRITICAL
-                    assigned[a] = 1
+    for a in sweep:
+        if assigned[a]:
+            continue
+        sa = sig[a]
+        best = -1
+        best_rank = None
+        for off in cofacet_offsets[celltype[a]]:
+            b = a + off
+            # sentinel cells carry signature 255, so they can
+            # never match sa and are skipped without a bounds test
+            if assigned[b] or sig[b] != sa:
+                continue
+            ok = True
+            for foff in facet_offsets[celltype[b]]:
+                f = b + foff
+                if f != a and not assigned[f]:
+                    ok = False
+                    break
+            if ok:
+                rb = rank[b]
+                if best < 0 or rb < best_rank:
+                    best = b
+                    best_rank = rb
+        if best >= 0:
+            pairing[a] = dircode[best - a]
+            pairing[best] = dircode[a - best]
+            assigned[a] = 1
+            assigned[best] = 1
+        else:
+            pairing[a] = CRITICAL
+            assigned[a] = 1
 
     field = GradientField(complex_, np.asarray(pairing, dtype=np.uint8))
     return field

@@ -14,6 +14,9 @@ a deterministic virtual equivalent:
   executes SPMD rank programs (generators) with deterministic delivery,
   deadlock detection, and a byte-accurate message log for the machine
   model,
+- :mod:`repro.parallel.executor` — real shared-memory backends
+  (:class:`SerialExecutor`, :class:`ProcessPoolBlockExecutor`) that the
+  compute stage fans its per-block work out over,
 - :mod:`repro.parallel.mpibackend` — the mpi4py adapter that runs the
   *same* rank programs on a real MPI cluster.
 
@@ -23,16 +26,27 @@ the transport is simulated — or real, with the MPI backend.
 """
 
 from repro.parallel.decomposition import BlockDecomposition, decompose
+from repro.parallel.executor import (
+    BlockExecutor,
+    ProcessPoolBlockExecutor,
+    SerialExecutor,
+    make_executor,
+)
 from repro.parallel.radixk import MergeSchedule, MergeRound, full_merge_radices
-from repro.parallel.runtime import VirtualMPI
+from repro.parallel.runtime import VirtualMPI, pool_makespan
 from repro.parallel.comm import Comm
 
 __all__ = [
     "BlockDecomposition",
+    "BlockExecutor",
     "Comm",
     "MergeRound",
     "MergeSchedule",
+    "ProcessPoolBlockExecutor",
+    "SerialExecutor",
     "VirtualMPI",
     "decompose",
     "full_merge_radices",
+    "make_executor",
+    "pool_makespan",
 ]

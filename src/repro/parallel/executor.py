@@ -1,0 +1,153 @@
+"""Shared-memory execution backends for the compute stage.
+
+The paper's compute stage is embarrassingly parallel per block: the
+boundary-restricted gradient pairing (§IV-C) makes every block's result
+independent of every other block's, so the ``read block → gradient →
+trace → simplify`` chain can run on any number of OS processes without
+changing a single output bit.  This module provides the pluggable
+executor the pipeline uses to exploit that:
+
+- :class:`SerialExecutor` runs the worker function in-process, in spec
+  order — the reference schedule and the default.
+- :class:`ProcessPoolBlockExecutor` fans the specs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` worker pool and
+  returns the payloads in spec order.
+
+Both satisfy the :class:`BlockExecutor` protocol.  Because the worker
+function is pure (no shared mutable state; picklable inputs and
+outputs), the two backends are bit-identical by construction: the only
+thing an executor chooses is *where* each block is computed, never what
+is computed.  Tests assert this identity end-to-end.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+__all__ = [
+    "BlockExecutor",
+    "SerialExecutor",
+    "ProcessPoolBlockExecutor",
+    "make_executor",
+    "available_workers",
+]
+
+#: Executor kinds accepted by :func:`make_executor` and
+#: :class:`repro.core.config.PipelineConfig.executor`.
+EXECUTOR_KINDS = ("auto", "serial", "process")
+
+
+def available_workers() -> int:
+    """Number of usable CPU cores on this machine (at least 1)."""
+    return os.cpu_count() or 1
+
+
+@runtime_checkable
+class BlockExecutor(Protocol):
+    """Protocol of a compute-stage execution backend.
+
+    An executor maps a pure, picklable worker function over a sequence
+    of block specs and returns the results *in spec order*.  It must be
+    deterministic: for a pure function, the returned list may not depend
+    on scheduling.
+    """
+
+    #: worker-pool width this executor models (1 for serial)
+    workers: int
+
+    def map_blocks(
+        self, fn: Callable[[Any], Any], specs: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every spec; results in spec order."""
+        ...
+
+    def close(self) -> None:
+        """Release any OS resources (idempotent)."""
+        ...
+
+
+class SerialExecutor:
+    """Run the worker function in-process, one spec at a time.
+
+    The reference schedule: no pickling, no processes, no concurrency.
+    """
+
+    workers = 1
+
+    def map_blocks(
+        self, fn: Callable[[Any], Any], specs: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every spec sequentially, in spec order."""
+        return [fn(spec) for spec in specs]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ProcessPoolBlockExecutor:
+    """Fan block computations out over a pool of OS processes.
+
+    Wraps :class:`concurrent.futures.ProcessPoolExecutor`; the pool is
+    created lazily on first use so constructing a config never forks.
+    ``Executor.map`` preserves input order, and the worker function is
+    pure, so results are bit-identical to :class:`SerialExecutor`
+    regardless of which process computed which block.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is None:
+            workers = available_workers()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def map_blocks(
+        self, fn: Callable[[Any], Any], specs: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every spec across the pool; results in spec
+        order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return list(self._pool.map(fn, specs))
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessPoolBlockExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def make_executor(kind: str = "auto", workers: int = 1) -> BlockExecutor:
+    """Resolve an executor name to a backend instance.
+
+    ``"serial"`` always runs in-process; ``"process"`` always builds a
+    worker pool (even with ``workers=1``, useful for testing the pool
+    path); ``"auto"`` picks the pool exactly when ``workers > 1``.
+    """
+    if kind not in EXECUTOR_KINDS:
+        raise ValueError(
+            f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}"
+        )
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if kind == "serial" or (kind == "auto" and workers == 1):
+        return SerialExecutor()
+    return ProcessPoolBlockExecutor(workers)

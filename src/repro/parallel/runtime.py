@@ -16,13 +16,39 @@ diagnostic of who waits for whom.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.parallel.comm import Barrier, Comm, Recv, Send, payload_nbytes
 
-__all__ = ["VirtualMPI", "DeadlockError", "MessageRecord"]
+__all__ = ["VirtualMPI", "DeadlockError", "MessageRecord", "pool_makespan"]
+
+
+def pool_makespan(durations: Sequence[float], workers: int) -> float:
+    """Virtual elapsed time of running tasks on a pool of workers.
+
+    Models the schedule a process pool's shared task queue produces:
+    tasks are taken *in order* and each starts on the earliest-free
+    worker (list scheduling).  The pipeline charges its virtual clock
+    with this makespan for the compute phase — with one worker it
+    degenerates to the serial sum, with ``workers >= len(durations)``
+    to the max — so modeled time reflects the configured shared-memory
+    parallelism rather than always assuming a serial sweep.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    durations = [float(d) for d in durations]
+    if not durations:
+        return 0.0
+    if workers == 1:
+        return sum(durations)
+    free_at = [0.0] * min(workers, len(durations))
+    for d in durations:
+        t = heapq.heappop(free_at)
+        heapq.heappush(free_at, t + d)
+    return max(free_at)
 
 
 class DeadlockError(RuntimeError):

@@ -92,7 +92,7 @@ class TestFeatureSignature:
 class TestEndToEnd:
     def test_serial_vs_parallel_high_recall(self):
         field = gaussian_bumps_field((15, 15, 15), 5, seed=11)
-        serial = compute_morse_smale_complex(field, 0.05)
+        serial = compute_morse_smale_complex(field, persistence_threshold=0.05)
         cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.05)
         parallel = ParallelMSComplexPipeline(cfg).run(field)
         cmp = compare_complexes(

@@ -1,8 +1,10 @@
-"""Meta tests: public API surface and documentation coverage."""
+"""Meta tests: public API surface, documentation coverage, and the
+`repro.api` facade contract (routing, round-trips, deprecation shims)."""
 
 import importlib
 import inspect
 import pkgutil
+import warnings
 
 import pytest
 
@@ -79,6 +81,181 @@ def test_version_exposed():
 
 def test_top_level_quickstart_names():
     # the README quickstart must keep working
+    assert callable(repro.compute)
     assert callable(repro.compute_morse_smale_complex)
     assert callable(repro.ParallelMSComplexPipeline)
     assert callable(repro.PipelineConfig)
+
+
+def test_top_level_all_is_curated_and_sorted():
+    public = repro.__all__
+    assert "compute" in public and "api" in public
+    names = [n for n in public if not n.startswith("_")]
+    assert names == sorted(names)
+
+
+# ---------------------------------------------------------------------------
+# the repro.api facade
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def facade_field():
+    from repro.data.synthetic import gaussian_bumps_field
+
+    return gaussian_bumps_field((17, 17, 17), 5, seed=4)
+
+
+class TestFacade:
+    def test_serial_route_returns_pipeline_result(self, facade_field):
+        res = repro.compute(facade_field, persistence=0.05)
+        assert isinstance(res, repro.PipelineResult)
+        assert res.num_output_blocks == 1
+        assert res.stats.num_blocks == 1
+        assert res.stats.executor == "serial"
+        assert res.stats.workers == 1
+        assert res.stats.merge_round_times() == []
+
+    def test_serial_route_matches_legacy_entry_point(self, facade_field):
+        legacy = repro.compute_morse_smale_complex(
+            facade_field, persistence_threshold=0.05
+        )
+        facade = repro.compute(facade_field, persistence=0.05)
+        assert (
+            facade.merged_complexes[0].node_counts_by_index()
+            == legacy.node_counts_by_index()
+        )
+
+    def test_pipeline_route_matches_legacy_pipeline(self, facade_field):
+        from repro.core.merge import pack_complex
+
+        cfg = repro.PipelineConfig(
+            num_blocks=8, persistence_threshold=0.05, max_radix=8
+        )
+        legacy = repro.ParallelMSComplexPipeline(cfg).run(facade_field)
+        facade = repro.compute(
+            facade_field, persistence=0.05, ranks=8, merge_radix=8
+        )
+        assert pack_complex(facade.merged_complexes[0]) == pack_complex(
+            legacy.merged_complexes[0]
+        )
+
+    @pytest.mark.slow
+    def test_workers_do_not_change_bits(self, facade_field):
+        from repro.core.merge import pack_complex
+
+        serial = repro.compute(facade_field, persistence=0.05, ranks=8)
+        pooled = repro.compute(
+            facade_field, persistence=0.05, ranks=8, workers=2
+        )
+        assert pooled.stats.executor == "process"
+        assert pack_complex(pooled.merged_complexes[0]) == pack_complex(
+            serial.merged_complexes[0]
+        )
+
+    def test_merge_radix_forms(self, facade_field):
+        none = repro.compute(
+            facade_field, persistence=0.05, ranks=8, merge_radix="none"
+        )
+        assert none.num_output_blocks == 8
+        partial = repro.compute(
+            facade_field, persistence=0.05, ranks=8, merge_radix=[2]
+        )
+        assert partial.num_output_blocks == 4
+        radix2 = repro.compute(
+            facade_field, persistence=0.05, ranks=8, merge_radix=2
+        )
+        assert radix2.num_output_blocks == 1
+        assert radix2.stats.radices == [2, 2, 2]
+
+    def test_volume_spec_input(self, facade_field, tmp_path):
+        from repro.io.volume import write_volume
+
+        spec = write_volume(tmp_path / "f.raw", facade_field,
+                            dtype="float64")
+        res = repro.compute(spec, persistence=0.05, ranks=8)
+        ref = repro.compute(facade_field, persistence=0.05, ranks=8)
+        assert (
+            res.merged_complexes[0].node_counts_by_index()
+            == ref.merged_complexes[0].node_counts_by_index()
+        )
+
+    def test_keyword_only_and_validation(self, facade_field):
+        with pytest.raises(TypeError):
+            repro.compute(facade_field, 0.05)  # options are keyword-only
+        with pytest.raises(ValueError):
+            repro.compute(facade_field, ranks=0)
+        with pytest.raises(ValueError):
+            repro.compute(facade_field, workers=0)
+        with pytest.raises(ValueError):
+            repro.compute(facade_field, merge_radix=3)
+        with pytest.raises(ValueError):
+            repro.compute(facade_field, merge_radix="full-ish")
+
+    def test_result_write_round_trip(self, facade_field, tmp_path):
+        from repro.io.mscfile import read_msc_file
+        from repro.morse.msc import MorseSmaleComplex
+
+        res = repro.compute(facade_field, persistence=0.05, ranks=8)
+        path = tmp_path / "facade.msc"
+        res.write(path)
+        blocks = read_msc_file(path)
+        assert len(blocks) == 1
+        msc = MorseSmaleComplex.from_payload(blocks[0])
+        assert (
+            msc.node_counts_by_index()
+            == res.merged_complexes[0].node_counts_by_index()
+        )
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims (one-release compatibility)
+# ---------------------------------------------------------------------------
+
+
+class TestDeprecationShims:
+    def test_positional_options_warn_but_work(self, facade_field):
+        with pytest.warns(DeprecationWarning, match="positionally"):
+            legacy = repro.compute_morse_smale_complex(facade_field, 0.05)
+        modern = repro.compute_morse_smale_complex(
+            facade_field, persistence_threshold=0.05
+        )
+        assert legacy.node_counts_by_index() == modern.node_counts_by_index()
+
+    def test_too_many_positionals_raise(self, facade_field):
+        with pytest.raises(TypeError):
+            repro.compute_morse_smale_complex(
+                facade_field, 0.05, True, False, "extra"
+            )
+
+    def test_keyword_use_does_not_warn(self, facade_field):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.compute_morse_smale_complex(
+                facade_field, persistence_threshold=0.05, simplify=True
+            )
+
+    @pytest.mark.parametrize(
+        "alias,canonical,value",
+        [
+            ("persistence", "persistence_threshold", 0.25),
+            ("blocks", "num_blocks", 8),
+            ("procs", "num_procs", 2),
+        ],
+    )
+    def test_config_field_aliases_warn_and_map(self, alias, canonical, value):
+        kwargs = {alias: value}
+        if alias != "blocks":
+            kwargs["num_blocks"] = 8
+        with pytest.warns(DeprecationWarning, match=alias):
+            cfg = repro.PipelineConfig(**kwargs)
+        assert getattr(cfg, canonical) == value
+
+    def test_alias_conflict_raises(self):
+        with pytest.raises(TypeError):
+            repro.PipelineConfig(num_blocks=8, blocks=8)
+
+    def test_canonical_config_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.PipelineConfig(num_blocks=8, persistence_threshold=0.1)

@@ -67,6 +67,57 @@ class TestCompute:
         assert rc == 0
         assert "8 output block(s)" in capsys.readouterr().out
 
+    def test_workers_flags_parse_and_run(self, volume, capsys):
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--blocks", "4", "--workers", "1", "--executor", "serial",
+        ])
+        assert rc == 0
+        assert "workers=1" in capsys.readouterr().out
+
+
+class TestComputeErrors:
+    def test_missing_volume_fails_readably(self, tmp_path, capsys):
+        rc = main([
+            "compute", str(tmp_path / "nope.raw"),
+            "--dims", "8", "8", "8",
+        ])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert captured.err.startswith("error: cannot read volume")
+        assert "nope.raw" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_unreadable_directory_fails_readably(self, tmp_path, capsys):
+        rc = main([
+            "compute", str(tmp_path),  # a directory, not a file
+            "--dims", "8", "8", "8",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_size_mismatch_fails_readably(self, volume, capsys):
+        rc = main([
+            "compute", volume.path,
+            "--dims", "64", "64", "64",  # wrong dims for this file
+            "--dtype", "float32",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "require" in err and "bytes" in err
+
+    def test_bad_config_fails_readably(self, volume, capsys):
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--blocks", "3",  # not a power of two
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestSynth:
     @pytest.mark.parametrize(

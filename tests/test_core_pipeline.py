@@ -52,13 +52,15 @@ class TestConfig:
 
 class TestSerialEntryPoint:
     def test_returns_compacted_valid_complex(self, field):
-        msc = compute_morse_smale_complex(field, 0.05, validate=True)
+        msc = compute_morse_smale_complex(
+            field, persistence_threshold=0.05, validate=True
+        )
         assert_ms_complex_valid(msc)
         assert all(g.is_leaf for g in msc.geoms)
 
     def test_no_simplify(self, field):
         raw = compute_morse_smale_complex(field, simplify=False)
-        simp = compute_morse_smale_complex(field, 0.05)
+        simp = compute_morse_smale_complex(field, persistence_threshold=0.05)
         assert raw.num_alive_nodes() >= simp.num_alive_nodes()
 
 

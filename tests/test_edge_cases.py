@@ -81,7 +81,7 @@ class TestDegenerateData:
 class TestThresholdExtremes:
     def test_infinite_threshold_serial(self, rng):
         v = rng.random((7, 7, 7))
-        msc = compute_morse_smale_complex(v, np.inf)
+        msc = compute_morse_smale_complex(v, persistence_threshold=np.inf)
         assert msc.euler_characteristic() == 1
         # only strangled multiplicity->2 pairs can survive beside the min
         assert msc.node_counts_by_index()[0] == 1
@@ -104,7 +104,7 @@ class TestThresholdExtremes:
         """
         v = rng.random((6, 6, 6))
         raw = compute_morse_smale_complex(v, simplify=False)
-        at_zero = compute_morse_smale_complex(v, 0.0)
+        at_zero = compute_morse_smale_complex(v, persistence_threshold=0.0)
         assert all(c.persistence == 0.0 for c in at_zero.hierarchy)
         assert (
             at_zero.node_counts_by_index()[0]

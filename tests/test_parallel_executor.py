@@ -1,0 +1,277 @@
+"""Tests for the shared-memory compute-stage backends.
+
+The hard requirement of the executor design: per-block results — and
+therefore the merged complex — must be *bit-identical* between serial
+and process-pool execution.  The boundary-restricted pairing makes every
+block independent, so the executor is a pure scheduling choice; these
+tests assert that end-to-end on payload bytes, nodes, arcs, geometry,
+and persistence pairs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.merge import pack_complex
+from repro.core.pipeline import (
+    BlockSpec,
+    ParallelMSComplexPipeline,
+    compute_block,
+)
+from repro.data.synthetic import gaussian_bumps_field, sinusoidal_field
+from repro.io.volume import write_volume
+from repro.parallel.decomposition import decompose
+from repro.parallel.executor import (
+    BlockExecutor,
+    ProcessPoolBlockExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.parallel.runtime import pool_makespan
+
+
+# ---------------------------------------------------------------------------
+# pool_makespan (virtual-clock charging)
+# ---------------------------------------------------------------------------
+
+
+class TestPoolMakespan:
+    def test_one_worker_is_serial_sum(self):
+        assert pool_makespan([1.0, 2.0, 3.0], 1) == pytest.approx(6.0)
+
+    def test_enough_workers_is_max(self):
+        assert pool_makespan([1.0, 2.0, 3.0], 3) == pytest.approx(3.0)
+        assert pool_makespan([1.0, 2.0, 3.0], 99) == pytest.approx(3.0)
+
+    def test_list_scheduling_in_order(self):
+        # two workers, tasks [3, 1, 1, 1] in order:
+        # w0: 3            -> busy to 3
+        # w1: 1+1+1        -> busy to 3
+        assert pool_makespan([3.0, 1.0, 1.0, 1.0], 2) == pytest.approx(3.0)
+        # tasks [2, 1, 3]: w0 takes 2, w1 takes 1 then 3 -> busy to 4
+        assert pool_makespan([2.0, 1.0, 3.0], 2) == pytest.approx(4.0)
+
+    def test_empty_and_validation(self):
+        assert pool_makespan([], 4) == 0.0
+        with pytest.raises(ValueError):
+            pool_makespan([1.0], 0)
+
+    def test_bounded_by_sum_and_max(self):
+        rng = np.random.default_rng(3)
+        durations = rng.random(17).tolist()
+        for w in (2, 3, 5):
+            m = pool_makespan(durations, w)
+            assert max(durations) <= m <= sum(durations)
+
+
+# ---------------------------------------------------------------------------
+# executor construction and ordering
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+class TestExecutors:
+    def test_make_executor_resolution(self):
+        assert isinstance(make_executor("serial", 4), SerialExecutor)
+        assert isinstance(make_executor("auto", 1), SerialExecutor)
+        assert isinstance(
+            make_executor("auto", 2), ProcessPoolBlockExecutor
+        )
+        assert isinstance(
+            make_executor("process", 1), ProcessPoolBlockExecutor
+        )
+        with pytest.raises(ValueError):
+            make_executor("threads", 2)
+        with pytest.raises(ValueError):
+            make_executor("auto", 0)
+
+    def test_protocol_conformance(self):
+        assert isinstance(SerialExecutor(), BlockExecutor)
+        assert isinstance(ProcessPoolBlockExecutor(2), BlockExecutor)
+
+    def test_serial_order_preserved(self):
+        ex = SerialExecutor()
+        assert ex.map_blocks(_square, [3, 1, 2]) == [9, 1, 4]
+        ex.close()
+
+    @pytest.mark.slow
+    def test_pool_order_preserved_and_reusable(self):
+        with ProcessPoolBlockExecutor(2) as ex:
+            assert ex.map_blocks(_square, list(range(7))) == [
+                n * n for n in range(7)
+            ]
+            # the pool is reusable across calls and tolerates empty input
+            assert ex.map_blocks(_square, []) == []
+            assert ex.map_blocks(_square, [5]) == [25]
+
+    def test_close_is_idempotent(self):
+        ex = ProcessPoolBlockExecutor(2)
+        ex.close()
+        ex.close()
+
+
+# ---------------------------------------------------------------------------
+# compute_block: purity and spec validation
+# ---------------------------------------------------------------------------
+
+
+def _single_block_spec(field, threshold=0.05):
+    decomp = decompose(field.shape, 1)
+    box = decomp.block_box((0, 0, 0))
+    return BlockSpec(
+        block_id=0,
+        box=box,
+        refined_origin=box.refined_origin,
+        global_refined_dims=decomp.global_refined_dims,
+        cut_planes=decomp.cut_planes,
+        persistence_threshold=threshold,
+        simplify_at_zero_persistence=True,
+        validate=False,
+        values=field,
+    )
+
+
+class TestComputeBlock:
+    def test_pure_and_deterministic(self):
+        field = gaussian_bumps_field((11, 11, 11), 3, seed=2)
+        spec = _single_block_spec(field)
+        a, b = compute_block(spec), compute_block(spec)
+        assert a.blob == b.blob
+        assert a.cells == b.cells
+        assert a.critical_counts == b.critical_counts
+        assert a.geometry_cells_traced == b.geometry_cells_traced
+        assert a.cancellations == b.cancellations
+
+    def test_requires_exactly_one_input(self):
+        field = gaussian_bumps_field((9, 9, 9), 2, seed=2)
+        spec = _single_block_spec(field)
+        bad = BlockSpec(
+            **{
+                **spec.__dict__,
+                "values": None,
+            }
+        )
+        with pytest.raises(ValueError):
+            compute_block(bad)
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        field = gaussian_bumps_field((9, 9, 9), 2, seed=2)
+        spec = _single_block_spec(field)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert compute_block(clone).blob == compute_block(spec).blob
+
+
+# ---------------------------------------------------------------------------
+# serial vs process-pool bit-identity (the tentpole guarantee)
+# ---------------------------------------------------------------------------
+
+
+def _run(field=None, volume=None, *, workers, executor="auto", blocks=8):
+    cfg = PipelineConfig(
+        num_blocks=blocks,
+        persistence_threshold=0.05,
+        workers=workers,
+        executor=executor,
+    )
+    pipe = ParallelMSComplexPipeline(cfg)
+    return pipe.run(field) if field is not None else pipe.run(volume=volume)
+
+
+def _identity_checks(serial, pooled):
+    assert serial.num_output_blocks == pooled.num_output_blocks
+    for bid in serial.output_blocks:
+        ms, mp = serial.output_blocks[bid], pooled.output_blocks[bid]
+        # bit-identical serialized complexes cover nodes, arcs, geometry
+        assert pack_complex(ms) == pack_complex(mp)
+        assert ms.node_counts_by_index() == mp.node_counts_by_index()
+        assert ms.total_geometry_length() == mp.total_geometry_length()
+        # merge-phase persistence pairs (Cancellation is a dataclass)
+        assert ms.hierarchy == mp.hierarchy
+    # identical work counters, block by block
+    for bs, bp in zip(serial.stats.block_stats, pooled.stats.block_stats):
+        assert bs.block_id == bp.block_id
+        assert bs.cells == bp.cells
+        assert bs.critical_counts == bp.critical_counts
+        assert bs.nodes_after_simplify == bp.nodes_after_simplify
+        assert bs.arcs_after_simplify == bp.arcs_after_simplify
+        assert bs.geometry_cells_traced == bp.geometry_cells_traced
+        assert bs.cancellations == bp.cancellations
+    # the virtual clock is a deterministic function of the work counters,
+    # so modeled stage times agree too (compute differs only via workers)
+    assert serial.stats.read_time == pooled.stats.read_time
+    assert (
+        serial.stats.merge_round_times() == pooled.stats.merge_round_times()
+    )
+
+
+@pytest.mark.slow
+class TestSerialPoolIdentity:
+    def test_synthetic_33cube_bit_identical(self):
+        """Serial vs 4-worker pool on the paper-style 33^3 sinusoid."""
+        field = sinusoidal_field(33, 4).astype(np.float64)
+        serial = _run(field, workers=1)
+        pooled = _run(field, workers=4)
+        _identity_checks(serial, pooled)
+        assert pooled.stats.executor == "process"
+        assert pooled.stats.workers == 4
+
+    def test_volume_file_input_bit_identical(self, tmp_path):
+        """Workers read their own subarrays from the raw volume file."""
+        field = gaussian_bumps_field((17, 17, 17), 5, seed=4)
+        spec = write_volume(tmp_path / "f.raw", field, dtype="float64")
+        serial = _run(volume=spec, workers=1)
+        pooled = _run(volume=spec, workers=3)
+        _identity_checks(serial, pooled)
+
+    def test_forced_pool_with_one_worker(self):
+        """executor='process' with workers=1 exercises the pool path."""
+        field = gaussian_bumps_field((13, 13, 13), 3, seed=9)
+        serial = _run(field, workers=1, executor="serial")
+        pooled = _run(field, workers=1, executor="process")
+        _identity_checks(serial, pooled)
+
+    def test_partial_merge_and_fewer_procs(self):
+        field = gaussian_bumps_field((15, 15, 15), 5, seed=23)
+        cfg = dict(persistence_threshold=0.05, merge_radices=[2],
+                   num_procs=3)
+        serial = ParallelMSComplexPipeline(
+            PipelineConfig(num_blocks=8, workers=1, **cfg)
+        ).run(field)
+        pooled = ParallelMSComplexPipeline(
+            PipelineConfig(num_blocks=8, workers=2, **cfg)
+        ).run(field)
+        _identity_checks(serial, pooled)
+
+
+class TestVirtualClockWithWorkers:
+    def test_compute_time_charges_makespan_not_sum(self):
+        """More workers shrink the modeled compute time of a multi-block
+        rank down to its longest block."""
+        field = gaussian_bumps_field((17, 17, 17), 5, seed=4)
+        times = {}
+        for w in (1, 2, 8):
+            cfg = PipelineConfig(
+                num_blocks=8, num_procs=1, persistence_threshold=0.05,
+                workers=w, executor="serial",  # same schedule, same bits
+            )
+            res = ParallelMSComplexPipeline(cfg).run(field)
+            times[w] = res.stats.compute_time
+            per_block = [
+                b.virtual_seconds for b in res.stats.block_stats
+            ]
+        assert times[1] == pytest.approx(sum(per_block))
+        assert times[8] == pytest.approx(max(per_block))
+        assert times[8] < times[2] < times[1]
+
+    def test_compute_wall_recorded(self):
+        field = gaussian_bumps_field((13, 13, 13), 3, seed=9)
+        res = _run(field, workers=1)
+        assert res.stats.compute_wall_seconds > 0
+        assert res.stats.compute_cpu_seconds > 0
+        assert res.stats.compute_speedup > 0
+        assert "compute stage" in res.stats.describe()

@@ -107,7 +107,7 @@ def test_extrema_agreement_on_clean_fields(seed):
                 -((X - c[0]) ** 2 + (Y - c[1]) ** 2 + (Z - c[2]) ** 2)
                 / 0.06**2
             )
-    serial = compute_morse_smale_complex(field, 0.3)
+    serial = compute_morse_smale_complex(field, persistence_threshold=0.3)
     cfg = PipelineConfig(num_blocks=8, persistence_threshold=0.3)
     parallel = ParallelMSComplexPipeline(cfg).run(field).merged_complexes[0]
     s, p = serial.node_counts_by_index(), parallel.node_counts_by_index()

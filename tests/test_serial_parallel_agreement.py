@@ -64,7 +64,7 @@ class TestMorseInputs:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_counts_match_serial(self, blocks, seed):
         field = separated_bumps((15, 14, 13), seed=seed)
-        serial = compute_morse_smale_complex(field, 0.3)
+        serial = compute_morse_smale_complex(field, persistence_threshold=0.3)
         res = _run_parallel(field, blocks, 0.3)
         parallel = res.merged_complexes[0]
         assert (
@@ -77,7 +77,7 @@ class TestMorseInputs:
         """Random overlapping bumps: extrema counts still agree (saddle
         pairs near the threshold may flip with cancellation order)."""
         field = gaussian_bumps_field((15, 14, 13), 6, seed=13)
-        serial = compute_morse_smale_complex(field, 0.05)
+        serial = compute_morse_smale_complex(field, persistence_threshold=0.05)
         parallel = _run_parallel(field, blocks, 0.05).merged_complexes[0]
         s, p = serial.node_counts_by_index(), parallel.node_counts_by_index()
         assert p[0] == s[0] and p[3] == s[3]
@@ -94,7 +94,7 @@ class TestMorseInputs:
         of significant nodes is the stable signature.
         """
         field = separated_bumps((15, 15, 15), seed=3)
-        serial = compute_morse_smale_complex(field, 0.3)
+        serial = compute_morse_smale_complex(field, persistence_threshold=0.3)
         parallel = _run_parallel(field, 8, 0.3).merged_complexes[0]
 
         def signature(msc, floor=0.1):
@@ -110,7 +110,7 @@ class TestMorseInputs:
     def test_significant_maxima_degrees_match_serial(self):
         """Each feature maximum keeps its arc degree under blocking."""
         field = separated_bumps((15, 15, 15), seed=3)
-        serial = compute_morse_smale_complex(field, 0.3)
+        serial = compute_morse_smale_complex(field, persistence_threshold=0.3)
         parallel = _run_parallel(field, 8, 0.3).merged_complexes[0]
 
         def degrees(msc, floor=0.1):
@@ -124,7 +124,7 @@ class TestMorseInputs:
 
     def test_agreement_with_multiple_blocks_per_proc(self):
         field = gaussian_bumps_field((15, 15, 15), 5, seed=23)
-        serial = compute_morse_smale_complex(field, 0.05)
+        serial = compute_morse_smale_complex(field, persistence_threshold=0.05)
         res = _run_parallel(field, 8, 0.05, procs=3)
         assert (
             res.merged_complexes[0].node_counts_by_index()
@@ -160,7 +160,7 @@ class TestDegenerateInputs:
 
     def test_hydrogen_stable_maxima(self):
         field = hydrogen_atom(33)
-        serial = compute_morse_smale_complex(field, 2.0)
+        serial = compute_morse_smale_complex(field, persistence_threshold=2.0)
         parallel = _run_parallel(field, 8, 2.0).merged_complexes[0]
 
         def strong_maxima_values(msc):
