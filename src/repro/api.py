@@ -51,6 +51,11 @@ def compute(
     ranks: int = 1,
     merge_radix: int | Sequence[int] | str = 2,
     validate: bool = False,
+    block_timeout: float | None = None,
+    max_retries: int = 2,
+    retry_backoff: float = 0.05,
+    degrade_on_failure: bool = True,
+    faults: object | None = None,
 ) -> PipelineResult:
     """Compute the Morse-Smale complex of a scalar field.
 
@@ -80,6 +85,22 @@ def compute(
         blocks.
     validate:
         Run structural invariant checks after every stage (slow).
+    block_timeout:
+        Per-block compute timeout in seconds (process executor only);
+        ``None`` waits forever.  Timed-out blocks are retried.
+    max_retries:
+        Extra attempts a failed block (or root merge) gets before the
+        run degrades to serial execution or errors out readably.
+    retry_backoff:
+        Base of the exponential backoff between attempts; ``0`` retries
+        immediately.
+    degrade_on_failure:
+        Fall back to the in-process serial executor when the worker
+        pool is unhealthy (recorded in ``result.stats.faults``) instead
+        of raising.
+    faults:
+        Optional :class:`repro.parallel.faults.FaultPlan` injecting
+        deterministic failures — the chaos-testing hook.
 
     Returns
     -------
@@ -118,6 +139,11 @@ def compute(
         # ranks == workers == 1 is the serial path: single block, no
         # pool, no merge rounds; anything else runs the full pipeline
         executor="serial" if workers == 1 else "process",
+        block_timeout=block_timeout,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        degrade_on_failure=degrade_on_failure,
+        faults=faults,
     )
     pipeline = ParallelMSComplexPipeline(cfg)
     if isinstance(values, VolumeSpec):

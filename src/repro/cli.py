@@ -23,6 +23,21 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be >= 1 (readable, exit code 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer (>= 1), got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
     parser = argparse.ArgumentParser(
@@ -38,11 +53,11 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar=("NX", "NY", "NZ"))
     c.add_argument("--dtype", default="float32",
                    choices=("uint8", "float32", "float64"))
-    c.add_argument("--blocks", type=int, default=1,
+    c.add_argument("--blocks", type=_positive_int, default=1,
                    help="number of blocks (power of two)")
-    c.add_argument("--procs", type=int, default=None,
+    c.add_argument("--procs", type=_positive_int, default=None,
                    help="virtual processes (default: one per block)")
-    c.add_argument("--workers", type=int, default=1,
+    c.add_argument("--workers", type=_positive_int, default=1,
                    help="shared-memory worker processes for the compute "
                         "stage (default: 1, serial)")
     c.add_argument("--executor", default="auto",
@@ -51,6 +66,20 @@ def build_parser() -> argparse.ArgumentParser:
                         "process pool exactly when --workers > 1)")
     c.add_argument("--persistence", type=float, default=0.0,
                    help="simplification threshold")
+    c.add_argument("--block-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-block compute timeout (process executor); "
+                        "timed-out blocks are retried")
+    c.add_argument("--max-retries", type=int, default=2, metavar="N",
+                   help="extra attempts a failed block or merge gets "
+                        "(default: 2)")
+    c.add_argument("--retry-backoff", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="base of the exponential backoff between "
+                        "attempts (default: 0.05)")
+    c.add_argument("--no-degrade", action="store_true",
+                   help="fail instead of degrading to the serial "
+                        "executor when the worker pool is unhealthy")
     c.add_argument("--radices", nargs="*", type=int, default=None,
                    help="merge radices (default: full merge)")
     c.add_argument("--no-merge", action="store_true",
@@ -86,6 +115,7 @@ def _cmd_compute(args) -> int:
     from repro.core.config import PipelineConfig
     from repro.core.pipeline import ParallelMSComplexPipeline
     from repro.io.volume import VolumeSpec
+    from repro.parallel.executor import FaultToleranceError
 
     spec = VolumeSpec(args.volume, tuple(args.dims), args.dtype)
     try:
@@ -115,11 +145,17 @@ def _cmd_compute(args) -> int:
             merge_radices=radices,
             workers=args.workers,
             executor=args.executor,
+            block_timeout=args.block_timeout,
+            max_retries=args.max_retries,
+            retry_backoff=args.retry_backoff,
+            degrade_on_failure=not args.no_degrade,
         )
         result = ParallelMSComplexPipeline(cfg).run(volume=spec)
-    except (OSError, ValueError) as exc:
+    except (OSError, ValueError, FaultToleranceError) as exc:
         return _fail(str(exc))
     print(result.stats.describe())
+    if result.stats.faults.any_faults():
+        print(result.stats.faults.describe())
     counts = result.combined_node_counts()
     print(
         f"critical points: min={counts[0]} 1sad={counts[1]} "

@@ -12,8 +12,10 @@ import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from typing import Any
+
 from repro.machine.bgp import BlueGenePParams
-from repro.parallel.executor import EXECUTOR_KINDS
+from repro.parallel.executor import EXECUTOR_KINDS, RetryPolicy
 from repro.parallel.radixk import MergeSchedule, full_merge_radices
 
 __all__ = ["PipelineConfig", "MergeSchedule"]
@@ -63,6 +65,27 @@ class PipelineConfig:
     executor:
         Compute-stage backend: ``"auto"`` (worker pool exactly when
         ``workers > 1``), ``"serial"``, or ``"process"``.
+    block_timeout:
+        Per-block compute timeout in seconds, enforced on the process
+        backend; ``None`` (default) waits forever.  A timed-out block is
+        retried like any other failure.
+    max_retries:
+        Extra attempts granted to a failed block (and to a failed root
+        merge) before the fault-tolerance layer degrades or errors out.
+    retry_backoff:
+        Base of the exponential backoff slept between attempts of one
+        block; ``0`` disables sleeping.
+    degrade_on_failure:
+        Fall back to the in-process serial executor — recording the
+        event in the run's stats — when the worker pool is unhealthy,
+        instead of failing the pipeline.
+    max_pool_restarts:
+        Worker-pool rebuilds (after worker deaths or a fully clogged
+        pool) tolerated before declaring the pool unhealthy.
+    faults:
+        Optional :class:`repro.parallel.faults.FaultPlan` injecting
+        deterministic failures into the compute and merge stages — the
+        chaos-testing hook; ``None`` in production use.
 
     Deprecated keyword aliases ``persistence`` (for
     ``persistence_threshold``), ``blocks`` (``num_blocks``) and
@@ -82,6 +105,12 @@ class PipelineConfig:
     simplify_at_zero_persistence: bool = True
     workers: int = 1
     executor: str = "auto"
+    block_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    degrade_on_failure: bool = True
+    max_pool_restarts: int = 2
+    faults: Any = None
 
     def __post_init__(self) -> None:
         if self.num_blocks < 1:
@@ -102,6 +131,19 @@ class PipelineConfig:
                 f"executor must be one of {EXECUTOR_KINDS}, "
                 f"got {self.executor!r}"
             )
+        # RetryPolicy validates the fault-tolerance knobs; fail at
+        # config-construction time, not mid-pipeline
+        self.retry_policy()
+
+    def retry_policy(self) -> RetryPolicy:
+        """The compute-stage retry policy these settings describe."""
+        return RetryPolicy(
+            block_timeout=self.block_timeout,
+            max_retries=self.max_retries,
+            backoff=self.retry_backoff,
+            degrade_on_failure=self.degrade_on_failure,
+            max_pool_restarts=self.max_pool_restarts,
+        )
 
     @property
     def resolved_num_procs(self) -> int:

@@ -19,13 +19,27 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Callable
+
 from repro.core.glue import GlueStats, glue_into
 from repro.io.mscfile import deserialize_payload, serialize_payload
 from repro.morse.msc import MorseSmaleComplex
 from repro.morse.simplify import simplify_ms_complex
 from repro.morse.validate import assert_ms_complex_valid
+from repro.parallel.executor import FaultToleranceError
 
-__all__ = ["MergeOutcome", "pack_complex", "unpack_complex", "perform_merge"]
+__all__ = [
+    "MergeOutcome",
+    "MergeStageError",
+    "pack_complex",
+    "unpack_complex",
+    "perform_merge",
+    "merge_with_retries",
+]
+
+
+class MergeStageError(FaultToleranceError):
+    """A root merge could not be completed within the retry budget."""
 
 
 @dataclass
@@ -81,3 +95,67 @@ def perform_merge(
         nodes_after=root.num_alive_nodes(),
         arcs_after=root.num_alive_arcs(),
     )
+
+
+def merge_with_retries(
+    root: MorseSmaleComplex,
+    incoming_blobs: list[bytes],
+    remaining_cut_planes: tuple[np.ndarray, np.ndarray, np.ndarray],
+    persistence_threshold: float,
+    *,
+    validate: bool = False,
+    max_retries: int = 2,
+    fault_hook: Callable[[int, list[bytes]], list[bytes]] | None = None,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> tuple[MorseSmaleComplex, MergeOutcome, int]:
+    """Fault-tolerant :func:`perform_merge`: retry from a pristine snapshot.
+
+    :func:`perform_merge` mutates the root in place, so a crash mid-merge
+    leaves it unusable.  This wrapper snapshots the root (the same packed
+    bytes the merge rounds already exchange) before the first attempt;
+    when an attempt fails — a corrupted member blob that will not unpack,
+    or an error inside the merge computation — the root is restored from
+    the snapshot (cancellation hierarchy included) and the merge retried
+    with the original, uncorrupted blobs, up to ``max_retries`` times.
+    A successful retry is therefore bit-identical to a fault-free merge.
+
+    ``fault_hook`` is the chaos-testing injection point (see
+    :meth:`repro.parallel.faults.FaultPlan.merge_hook`): called with
+    ``(attempt, blobs)`` before each attempt, it may raise or return a
+    corrupted blob list.  ``on_retry`` is notified of every failed
+    attempt for stats accounting.
+
+    Returns ``(root, outcome, retries)`` where ``root`` is the merged
+    complex (a restored copy if any attempt failed) and ``retries`` how
+    many attempts failed before the successful one.  Raises
+    :class:`MergeStageError` with a readable message when the budget is
+    exhausted.
+    """
+    snapshot = pack_complex(root)
+    saved_hierarchy = list(root.hierarchy)
+    attempt = 0
+    while True:
+        try:
+            blobs = list(incoming_blobs)
+            if fault_hook is not None:
+                blobs = fault_hook(attempt, blobs)
+            incoming = [unpack_complex(b) for b in blobs]
+            outcome = perform_merge(
+                root,
+                incoming,
+                remaining_cut_planes,
+                persistence_threshold,
+                validate=validate,
+            )
+            return root, outcome, attempt
+        except Exception as exc:
+            if attempt >= max_retries:
+                raise MergeStageError(
+                    f"merge failed after {attempt + 1} attempt(s); "
+                    f"last error: {type(exc).__name__}: {exc}"
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            root = unpack_complex(snapshot)
+            root.hierarchy.extend(saved_hierarchy)
+            attempt += 1

@@ -39,16 +39,22 @@ from __future__ import annotations
 
 import time
 import warnings
+import zlib
 from dataclasses import dataclass, field
 from typing import Any
 
 import numpy as np
 
 from repro.core.config import PipelineConfig
-from repro.core.merge import pack_complex, perform_merge, unpack_complex
+from repro.core.merge import (
+    merge_with_retries,
+    pack_complex,
+    unpack_complex,
+)
 from repro.core.result import PipelineResult
 from repro.core.stats import (
     BlockComputeStats,
+    FaultToleranceStats,
     MergeEventStats,
     PipelineStats,
     RankTimeline,
@@ -68,7 +74,7 @@ from repro.morse.validate import (
     assert_ms_complex_valid,
 )
 from repro.parallel.decomposition import BlockDecomposition, decompose
-from repro.parallel.executor import make_executor
+from repro.parallel.executor import CorruptPayloadError, FaultTolerantExecutor
 from repro.parallel.radixk import MergeSchedule
 from repro.parallel.runtime import VirtualMPI, pool_makespan
 
@@ -78,6 +84,7 @@ __all__ = [
     "ParallelMSComplexPipeline",
     "compute_block",
     "compute_morse_smale_complex",
+    "validate_block_payload",
 ]
 
 
@@ -182,6 +189,9 @@ class BlockPayload:
     geometry_cells_traced: int
     cancellations: int
     real_seconds: float
+    #: CRC-32 of ``blob`` at pack time; the driver re-checks it so a
+    #: payload corrupted in transit is detected and the block retried
+    checksum: int = 0
 
 
 def compute_block(spec: BlockSpec) -> BlockPayload:
@@ -226,9 +236,10 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
     if spec.validate:
         assert_ms_complex_valid(msc)
     real = time.perf_counter() - t0
+    blob = pack_complex(msc)
     return BlockPayload(
         block_id=spec.block_id,
-        blob=pack_complex(msc),
+        blob=blob,
         cells=cx.num_cells,
         critical_counts=crit_counts,
         nodes_after_simplify=msc.num_alive_nodes(),
@@ -236,7 +247,32 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
         geometry_cells_traced=geometry_traced,
         cancellations=len(cancels),
         real_seconds=real,
+        checksum=zlib.crc32(blob),
     )
+
+
+def validate_block_payload(spec: BlockSpec, payload: Any) -> None:
+    """Reject payloads that are not the intact result of ``spec``.
+
+    The fault-tolerance layer calls this after every compute attempt;
+    raising :class:`~repro.parallel.executor.CorruptPayloadError`
+    triggers a retry of the block.
+    """
+    if not isinstance(payload, BlockPayload):
+        raise CorruptPayloadError(
+            f"block {spec.block_id}: worker returned "
+            f"{type(payload).__name__}, not a BlockPayload"
+        )
+    if payload.block_id != spec.block_id:
+        raise CorruptPayloadError(
+            f"block {spec.block_id}: payload claims block "
+            f"{payload.block_id}"
+        )
+    if zlib.crc32(payload.blob) != payload.checksum:
+        raise CorruptPayloadError(
+            f"block {spec.block_id}: payload checksum mismatch "
+            f"(corrupted in transit?)"
+        )
 
 
 @dataclass
@@ -258,6 +294,8 @@ class _RunContext:
     cuts_by_round: list[tuple] = field(default_factory=list)
     #: same-rank member-to-root handoffs, keyed by (rank, round, block)
     local_inbox: dict[tuple[int, int, int], Any] = field(default_factory=dict)
+    #: shared fault-tolerance counters (compute stage + merge retries)
+    ft: FaultToleranceStats = field(default_factory=FaultToleranceStats)
 
 
 class ParallelMSComplexPipeline:
@@ -360,8 +398,18 @@ class ParallelMSComplexPipeline:
         t0 = time.perf_counter()
 
         # ---- compute stage, on the configured executor ----------------
+        # wrapped in the fault-tolerance layer: per-block timeouts,
+        # bounded retries, pool restarts, degradation to serial
+        ft = FaultToleranceStats()
         specs = self._block_specs(decomp, grid, volume)
-        executor = make_executor(cfg.resolved_executor, cfg.workers)
+        executor = FaultTolerantExecutor(
+            kind=cfg.resolved_executor,
+            workers=cfg.workers,
+            policy=cfg.retry_policy(),
+            plan=cfg.faults,
+            validator=validate_block_payload,
+            stats=ft,
+        )
         tc0 = time.perf_counter()
         try:
             payload_list = executor.map_blocks(compute_block, specs)
@@ -379,6 +427,7 @@ class ParallelMSComplexPipeline:
             payloads=payloads,
             groups_by_round=groups_by_round,
             cuts_by_round=cuts_by_round,
+            ft=ft,
         )
 
         mpi = VirtualMPI(num_procs)
@@ -394,6 +443,7 @@ class ParallelMSComplexPipeline:
             workers=cfg.workers,
             executor=cfg.resolved_executor,
             compute_wall_seconds=compute_wall,
+            faults=ft,
         )
         output_blocks: dict[int, MorseSmaleComplex] = {}
         for ret in rank_returns:
@@ -503,7 +553,7 @@ def _rank_main(comm, ctx: _RunContext):
             if root_rank != comm.rank or root_bid not in complexes:
                 continue
             arrivals = [clock]
-            incoming: list[MorseSmaleComplex] = []
+            incoming_blobs: list[bytes] = []
             recv_bytes = 0
             for mbid, m_rank in members:
                 if m_rank == comm.rank:
@@ -521,18 +571,30 @@ def _rank_main(comm, ctx: _RunContext):
                         message["clock"]
                         + model.message_time(nbytes, m_rank, comm.rank)
                     )
-                incoming.append(unpack_complex(message["blob"]))
+                incoming_blobs.append(message["blob"])
             wait = max(arrivals) - clock
             clock = max(arrivals)
             t0 = time.perf_counter()
-            root_msc = complexes[root_bid]
-            outcome = perform_merge(
-                root_msc,
-                incoming,
+
+            def _count_merge_retry(attempt, exc, _ft=ctx.ft):
+                _ft.merge_retries += 1
+
+            fault_hook = (
+                cfg.faults.merge_hook(round_idx, root_bid)
+                if cfg.faults is not None
+                else None
+            )
+            root_msc, outcome, _ = merge_with_retries(
+                complexes[root_bid],
+                incoming_blobs,
                 cuts_after,
                 cfg.persistence_threshold,
                 validate=cfg.validate,
+                max_retries=cfg.max_retries,
+                fault_hook=fault_hook,
+                on_retry=_count_merge_retry,
             )
+            complexes[root_bid] = root_msc
             real = time.perf_counter() - t0
             mwork = MergeWork(
                 glued_elements=(

@@ -17,10 +17,74 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "BlockComputeStats",
+    "FaultToleranceStats",
     "MergeEventStats",
     "RankTimeline",
     "PipelineStats",
 ]
+
+
+@dataclass
+class FaultToleranceStats:
+    """Observability record of the fault-tolerance layer.
+
+    Filled in by :class:`repro.parallel.executor.FaultTolerantExecutor`
+    during the compute stage and by the merge-round recovery wrapper
+    (:func:`repro.core.merge.merge_with_retries`).  All zeros on a
+    healthy run.
+    """
+
+    #: block re-dispatches (compute stage), across all failure kinds
+    retries: int = 0
+    #: failed attempts classified as per-block timeouts / hangs
+    timeouts: int = 0
+    #: failed attempts classified as worker crashes (any other error)
+    crashes: int = 0
+    #: payloads rejected by validation (checksum / identity mismatch)
+    corrupt_payloads: int = 0
+    #: worker-pool rebuilds after a worker death or a clogged pool
+    pool_restarts: int = 0
+    #: merge-computation retries at group roots
+    merge_retries: int = 0
+    #: True once the executor fell back to in-process serial execution
+    degraded: bool = False
+    #: human-readable reason of each degradation decision
+    degradation_events: list[str] = field(default_factory=list)
+    #: total exponential-backoff sleep requested between attempts
+    backoff_seconds: float = 0.0
+
+    def any_faults(self) -> bool:
+        """Whether any failure-path machinery fired during the run."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.crashes
+            or self.corrupt_payloads
+            or self.pool_restarts
+            or self.merge_retries
+            or self.degraded
+        )
+
+    def counters(self) -> dict[str, int]:
+        """Scalar counters as a dict (stable keys, for tests/telemetry)."""
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "corrupt_payloads": self.corrupt_payloads,
+            "pool_restarts": self.pool_restarts,
+            "merge_retries": self.merge_retries,
+            "degraded": int(self.degraded),
+        }
+
+    def describe(self) -> str:
+        """One-line summary, e.g. for the CLI timing report."""
+        parts = [
+            f"{k}={v}" for k, v in self.counters().items() if v
+        ]
+        if self.backoff_seconds:
+            parts.append(f"backoff={self.backoff_seconds:.3f}s")
+        return "faults: " + (" ".join(parts) if parts else "none")
 
 
 @dataclass
@@ -89,6 +153,8 @@ class PipelineStats:
     executor: str = "serial"
     #: real wall-clock seconds of the compute stage across all blocks
     compute_wall_seconds: float = 0.0
+    #: fault-tolerance observability (retries, timeouts, degradations)
+    faults: FaultToleranceStats = field(default_factory=FaultToleranceStats)
 
     # -- virtual stage times (paper-style reporting) ---------------------
 
@@ -183,4 +249,6 @@ class PipelineStats:
             f"  output: {self.output_bytes} bytes, "
             f"messages: {self.message_bytes} bytes",
         ]
+        if self.faults.any_faults():
+            lines.append("  " + self.faults.describe())
         return "\n".join(lines)

@@ -28,10 +28,17 @@ the transport is simulated — or real, with the MPI backend.
 from repro.parallel.decomposition import BlockDecomposition, decompose
 from repro.parallel.executor import (
     BlockExecutor,
+    BlockTimeoutError,
+    ComputeStageError,
+    CorruptPayloadError,
+    FaultTolerantExecutor,
+    FaultToleranceError,
     ProcessPoolBlockExecutor,
+    RetryPolicy,
     SerialExecutor,
     make_executor,
 )
+from repro.parallel.faults import FaultPlan
 from repro.parallel.radixk import MergeSchedule, MergeRound, full_merge_radices
 from repro.parallel.runtime import VirtualMPI, pool_makespan
 from repro.parallel.comm import Comm
@@ -39,10 +46,17 @@ from repro.parallel.comm import Comm
 __all__ = [
     "BlockDecomposition",
     "BlockExecutor",
+    "BlockTimeoutError",
     "Comm",
+    "ComputeStageError",
+    "CorruptPayloadError",
+    "FaultPlan",
+    "FaultTolerantExecutor",
+    "FaultToleranceError",
     "MergeRound",
     "MergeSchedule",
     "ProcessPoolBlockExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "VirtualMPI",
     "decompose",

@@ -12,24 +12,42 @@ executor the pipeline uses to exploit that:
 - :class:`ProcessPoolBlockExecutor` fans the specs out over a
   :class:`concurrent.futures.ProcessPoolExecutor` worker pool and
   returns the payloads in spec order.
+- :class:`FaultTolerantExecutor` wraps either backend with per-block
+  timeouts, bounded retries with exponential backoff, worker-pool
+  restarts after crashes, and graceful degradation to in-process serial
+  execution when the pool is unhealthy.
 
-Both satisfy the :class:`BlockExecutor` protocol.  Because the worker
+All satisfy the :class:`BlockExecutor` protocol.  Because the worker
 function is pure (no shared mutable state; picklable inputs and
-outputs), the two backends are bit-identical by construction: the only
-thing an executor chooses is *where* each block is computed, never what
-is computed.  Tests assert this identity end-to-end.
+outputs), the backends are bit-identical by construction: the only
+thing an executor chooses is *where* (and how often) each block is
+computed, never what is computed.  Tests assert this identity
+end-to-end, including under injected faults (see
+:mod:`repro.parallel.faults`).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    TimeoutError as FuturesTimeoutError,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 __all__ = [
     "BlockExecutor",
     "SerialExecutor",
     "ProcessPoolBlockExecutor",
+    "FaultTolerantExecutor",
+    "RetryPolicy",
+    "FaultToleranceError",
+    "BlockTimeoutError",
+    "CorruptPayloadError",
+    "ComputeStageError",
     "make_executor",
     "available_workers",
 ]
@@ -133,6 +151,346 @@ class ProcessPoolBlockExecutor:
 
     def __exit__(self, *exc: object) -> None:
         self.close()
+
+
+# ---------------------------------------------------------------------------
+# fault tolerance
+# ---------------------------------------------------------------------------
+
+
+class FaultToleranceError(RuntimeError):
+    """Base of every error the fault-tolerance layer classifies."""
+
+
+class BlockTimeoutError(FaultToleranceError):
+    """A block's computation exceeded the configured per-block timeout."""
+
+
+class CorruptPayloadError(FaultToleranceError):
+    """A block's payload failed validation (checksum / identity)."""
+
+
+class ComputeStageError(FaultToleranceError):
+    """A block could not be computed within the retry budget.
+
+    Raised with a readable message (block id, attempt count, last
+    error); callers such as the CLI present it without a traceback.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the fault-tolerance layer responds to block failures.
+
+    Parameters
+    ----------
+    block_timeout:
+        Per-block wall-clock budget in seconds, enforced on the process
+        backend (``None`` waits forever).  The serial backend cannot
+        interrupt an in-process call, so there a timeout only classifies
+        workers that raise :class:`BlockTimeoutError` themselves (e.g.
+        the fault harness's simulated hangs).
+    max_retries:
+        Additional attempts granted to a block after its first failure.
+        ``0`` fails fast.
+    backoff:
+        Base of the exponential backoff slept between attempts of one
+        block: attempt ``k`` (1-based retry) sleeps
+        ``backoff * backoff_factor**(k-1)`` seconds.  ``0`` disables
+        sleeping entirely, which keeps chaos tests wall-clock free.
+    backoff_factor:
+        Growth factor of the backoff sequence.
+    degrade_on_failure:
+        When the pool is unhealthy (a block exhausted its pooled
+        retries, or the pool broke/clogged more than
+        ``max_pool_restarts`` times), fall back to in-process serial
+        execution for everything still pending instead of raising.
+    max_pool_restarts:
+        Worker-pool rebuilds tolerated before the pool is declared
+        unhealthy.
+    """
+
+    block_timeout: float | None = None
+    max_retries: int = 2
+    backoff: float = 0.05
+    backoff_factor: float = 2.0
+    degrade_on_failure: bool = True
+    max_pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.block_timeout is not None and self.block_timeout <= 0:
+            raise ValueError("block_timeout must be positive or None")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff must be >= 0, backoff_factor >= 1")
+        if self.max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
+
+    def backoff_seconds(self, attempt: int) -> float:
+        """Sleep before (1-based) retry ``attempt`` of one block."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (attempt - 1)
+
+
+def _invoke(fn, spec, attempt, plan, context):
+    """Run one block attempt, routing through the fault plan if any.
+
+    Module-level so the process backend can pickle it; ``plan`` is any
+    object with a ``run(fn, spec, attempt, context)`` method (see
+    :class:`repro.parallel.faults.FaultPlan`) or ``None``.
+    """
+    if plan is None:
+        return fn(spec)
+    return plan.run(fn, spec, attempt, context)
+
+
+class FaultTolerantExecutor:
+    """Retry/timeout/degradation wrapper around the raw backends.
+
+    Dispatches blocks one future at a time (rather than ``pool.map``) so
+    each block gets its own timeout, its own retry budget, and survives
+    the crash of any worker process.  Failure responses, in order:
+
+    1. a failed or timed-out block is re-dispatched up to
+       ``policy.max_retries`` times, with exponential backoff;
+    2. a broken pool (worker death) is rebuilt and every unfinished
+       block re-dispatched, up to ``policy.max_pool_restarts`` times —
+       a pool whose workers are all clogged by timed-out blocks counts
+       as broken;
+    3. past those budgets the executor *degrades*: all remaining blocks
+       (with fresh retry budgets) run in-process on the serial path,
+       and the degradation is recorded in ``stats``;
+    4. if even serial execution exhausts a block's retries — or
+       degradation is disabled — a readable :class:`ComputeStageError`
+       is raised.
+
+    Because the worker function is pure, a retried block returns the
+    same bytes as a first-try block: fault handling never changes
+    results, only scheduling.  All counters land in the
+    :class:`repro.core.stats.FaultToleranceStats` passed as ``stats``.
+
+    ``validator`` (optional) is called as ``validator(spec, payload)``
+    after every successful attempt and raises
+    :class:`CorruptPayloadError` to trigger a retry — the pipeline uses
+    it for payload checksums.  ``sleep`` is injectable so tests can
+    record backoff without waiting.
+    """
+
+    def __init__(
+        self,
+        kind: str = "serial",
+        workers: int = 1,
+        policy: RetryPolicy | None = None,
+        plan: Any = None,
+        validator: Callable[[Any, Any], None] | None = None,
+        stats: Any = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if kind not in ("serial", "process"):
+            raise ValueError(
+                f"kind must be 'serial' or 'process', got {kind!r}"
+            )
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.kind = kind
+        self.workers = int(workers) if kind == "process" else 1
+        self.policy = policy or RetryPolicy()
+        self.plan = plan
+        self.validator = validator
+        if stats is None:
+            from repro.core.stats import FaultToleranceStats
+
+            stats = FaultToleranceStats()
+        self.stats = stats
+        self._sleep = sleep
+        self._pool: ProcessPoolExecutor | None = None
+        self._degraded = False
+        self._suspect_workers = 0  # pooled slots clogged by hung blocks
+
+    # -- public protocol -------------------------------------------------
+
+    def map_blocks(
+        self, fn: Callable[[Any], Any], specs: Sequence[Any]
+    ) -> list[Any]:
+        """Apply ``fn`` to every spec with fault tolerance; spec order."""
+        specs = list(specs)
+        results: list[Any] = [None] * len(specs)
+        pending = [(i, 0) for i in range(len(specs))]
+        while pending:
+            if self.kind == "process" and not self._degraded:
+                pending = self._pool_round(fn, specs, results, pending)
+            else:
+                pending = self._serial_round(fn, specs, results, pending)
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Does not wait for workers clogged by timed-out blocks.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(
+                wait=self._suspect_workers == 0, cancel_futures=True
+            )
+            self._pool = None
+
+    def __enter__(self) -> "FaultTolerantExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- failure bookkeeping ----------------------------------------------
+
+    @staticmethod
+    def _block_id(spec: Any) -> Any:
+        return getattr(spec, "block_id", spec)
+
+    def _classify(self, exc: BaseException) -> None:
+        if isinstance(exc, BlockTimeoutError):
+            self.stats.timeouts += 1
+        elif isinstance(exc, CorruptPayloadError):
+            self.stats.corrupt_payloads += 1
+        else:
+            self.stats.crashes += 1
+
+    def _degrade(self, reason: str, cause: BaseException | None) -> None:
+        """Switch to serial execution, or raise if degradation is off."""
+        if not self.policy.degrade_on_failure:
+            raise ComputeStageError(reason) from cause
+        if not self._degraded:
+            self._degraded = True
+            self.stats.degraded = True
+            self.stats.degradation_events.append(reason)
+
+    def _next_attempt(
+        self, spec: Any, attempt: int, exc: BaseException, where: str
+    ) -> int:
+        """Record one failed attempt; return the follow-up attempt number.
+
+        Returns ``0`` when the block's budget on the current backend is
+        exhausted and the executor degraded (fresh serial budget);
+        raises :class:`ComputeStageError` when there is nowhere left to
+        go.
+        """
+        self._classify(exc)
+        nxt = attempt + 1
+        if nxt > self.policy.max_retries:
+            reason = (
+                f"block {self._block_id(spec)} failed {nxt} attempt(s) "
+                f"on the {where} backend; last error: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            if where == "serial":
+                raise ComputeStageError(reason) from exc
+            self._degrade(f"degraded to serial executor: {reason}", exc)
+            return 0
+        self.stats.retries += 1
+        pause = self.policy.backoff_seconds(nxt)
+        if pause > 0:
+            self.stats.backoff_seconds += pause
+            self._sleep(pause)
+        return nxt
+
+    def _validate(self, spec: Any, payload: Any) -> None:
+        if self.validator is not None:
+            self.validator(spec, payload)
+
+    # -- serial path -------------------------------------------------------
+
+    def _serial_round(self, fn, specs, results, pending) -> list:
+        """Run every pending block in-process, retrying inline."""
+        for idx, attempt in pending:
+            spec = specs[idx]
+            while True:
+                try:
+                    payload = _invoke(fn, spec, attempt, self.plan, "serial")
+                    self._validate(spec, payload)
+                    results[idx] = payload
+                    break
+                except Exception as exc:
+                    attempt = self._next_attempt(spec, attempt, exc, "serial")
+        return []
+
+    # -- pooled path -------------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor | None:
+        if (
+            self._pool is not None
+            and self._suspect_workers >= self.workers
+        ):
+            self._restart_pool(
+                "all worker slots clogged by timed-out blocks", None
+            )
+        if self._degraded:
+            return None
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        return self._pool
+
+    def _restart_pool(self, why: str, cause: BaseException | None) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._suspect_workers = 0
+        self.stats.pool_restarts += 1
+        if self.stats.pool_restarts > self.policy.max_pool_restarts:
+            self._degrade(
+                f"degraded to serial executor: worker pool restarted "
+                f"{self.stats.pool_restarts} times (limit "
+                f"{self.policy.max_pool_restarts}); last reason: {why}",
+                cause,
+            )
+
+    def _pool_round(self, fn, specs, results, pending) -> list:
+        """Dispatch one wave of pending blocks to the pool."""
+        pool = self._ensure_pool()
+        if pool is None:  # degraded while recycling a clogged pool
+            return pending
+        futures = [
+            (idx, attempt,
+             pool.submit(_invoke, fn, specs[idx], attempt, self.plan, "pool"))
+            for idx, attempt in pending
+        ]
+        next_round: list[tuple[int, int]] = []
+        for pos, (idx, attempt, fut) in enumerate(futures):
+            spec = specs[idx]
+            try:
+                payload = fut.result(timeout=self.policy.block_timeout)
+                self._validate(spec, payload)
+                results[idx] = payload
+            except FuturesTimeoutError:
+                fut.cancel()
+                self._suspect_workers += 1
+                exc = BlockTimeoutError(
+                    f"block {self._block_id(spec)} exceeded the "
+                    f"{self.policy.block_timeout}s per-block timeout"
+                )
+                next_round.append(
+                    (idx, self._next_attempt(spec, attempt, exc, "pool"))
+                )
+            except BrokenProcessPool as exc:
+                # a worker died; this and every later future of the wave
+                # is lost — rebuild the pool and re-dispatch them all,
+                # without charging the (likely innocent) blocks' budgets
+                self._restart_pool(f"worker process died: {exc}", exc)
+                next_round.extend(
+                    (j, a) for j, a, _ in futures[pos:]
+                )
+                break
+            except BlockTimeoutError as exc:
+                # a simulated hang raised inside the worker: same
+                # classification as a real timeout, minus the clogged slot
+                next_round.append(
+                    (idx, self._next_attempt(spec, attempt, exc, "pool"))
+                )
+            except Exception as exc:
+                next_round.append(
+                    (idx, self._next_attempt(spec, attempt, exc, "pool"))
+                )
+        return next_round
 
 
 def make_executor(kind: str = "auto", workers: int = 1) -> BlockExecutor:

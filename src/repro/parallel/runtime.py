@@ -23,7 +23,13 @@ from typing import Any, Callable, Sequence
 
 from repro.parallel.comm import Barrier, Comm, Recv, Send, payload_nbytes
 
-__all__ = ["VirtualMPI", "DeadlockError", "MessageRecord", "pool_makespan"]
+__all__ = [
+    "VirtualMPI",
+    "DeadlockError",
+    "StepLimitError",
+    "MessageRecord",
+    "pool_makespan",
+]
 
 
 def pool_makespan(durations: Sequence[float], workers: int) -> float:
@@ -55,6 +61,16 @@ class DeadlockError(RuntimeError):
     """All unfinished ranks are blocked and no message can arrive."""
 
 
+class StepLimitError(RuntimeError):
+    """The scheduler exceeded ``max_steps`` sweeps without finishing.
+
+    A watchdog against livelocked rank programs (e.g. a faulty program
+    spinning on sends that are never consumed): deadlocks are detected
+    structurally, but unbounded *progress* can only be caught by a step
+    budget.
+    """
+
+
 @dataclass(frozen=True)
 class MessageRecord:
     """One delivered point-to-point message (for the machine model)."""
@@ -75,13 +91,27 @@ class VirtualMPI:
     record_messages:
         Keep a :class:`MessageRecord` log of all traffic (cheap; on by
         default so cost models can replay it).
+    max_steps:
+        Optional watchdog: maximum scheduler sweeps before a
+        :class:`StepLimitError` is raised.  ``None`` (default) trusts
+        the rank programs to terminate; fault-tolerant drivers set a
+        generous bound so a livelocked program surfaces as a readable
+        error instead of a hang.
     """
 
-    def __init__(self, size: int, record_messages: bool = True) -> None:
+    def __init__(
+        self,
+        size: int,
+        record_messages: bool = True,
+        max_steps: int | None = None,
+    ) -> None:
         if size < 1:
             raise ValueError("size must be >= 1")
+        if max_steps is not None and max_steps < 1:
+            raise ValueError("max_steps must be >= 1 or None")
         self.size = size
         self.record_messages = record_messages
+        self.max_steps = max_steps
         self.message_log: list[MessageRecord] = []
 
     def run(
@@ -142,6 +172,12 @@ class VirtualMPI:
                     results[rank] = stop.value
                     done[rank] = True
                     return
+                except Exception as exc:
+                    # annotate failures with the rank they occurred on
+                    # so parallel-stage errors are attributable
+                    if hasattr(exc, "add_note"):  # python >= 3.11
+                        exc.add_note(f"(raised in virtual rank {rank})")
+                    raise
                 resume_value[rank] = None
                 if isinstance(req, Send):
                     deliver(rank, req)
@@ -162,7 +198,16 @@ class VirtualMPI:
                     f"rank {rank} yielded unknown request {req!r}"
                 )
 
+        steps = 0
         while not all(done):
+            steps += 1
+            if self.max_steps is not None and steps > self.max_steps:
+                unfinished = [r for r in range(self.size) if not done[r]]
+                raise StepLimitError(
+                    f"scheduler exceeded {self.max_steps} sweeps with "
+                    f"ranks {unfinished} unfinished — livelocked rank "
+                    f"program?"
+                )
             progressed = False
             for rank in range(self.size):
                 if done[rank]:

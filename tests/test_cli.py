@@ -142,3 +142,75 @@ class TestSynth:
             "--blocks", "2", "--persistence", "0.1",
         ])
         assert rc == 0
+
+
+class TestWorkerCountValidation:
+    """--workers/--blocks/--procs must be >= 1: exit code 2, readable."""
+
+    @pytest.mark.parametrize("flag", ["--workers", "--blocks", "--procs"])
+    @pytest.mark.parametrize("value", ["0", "-1", "-8"])
+    def test_nonpositive_rejected_with_exit_2(self, flag, value, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["compute", "v.raw", "--dims", "8", "8", "8",
+                  flag, value])
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err  # argparse names the offending flag
+        assert "positive integer" in err
+
+    @pytest.mark.parametrize("flag", ["--workers", "--blocks", "--procs"])
+    def test_non_numeric_rejected_with_exit_2(self, flag, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["compute", "v.raw", "--dims", "8", "8", "8",
+                  flag, "two"])
+        assert exc_info.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_workers_one_is_accepted(self):
+        args = build_parser().parse_args(
+            ["compute", "v.raw", "--dims", "8", "8", "8",
+             "--workers", "1"]
+        )
+        assert args.workers == 1
+
+
+class TestFaultToleranceFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(
+            ["compute", "v.raw", "--dims", "8", "8", "8"]
+        )
+        assert args.block_timeout is None
+        assert args.max_retries == 2
+        assert args.retry_backoff == pytest.approx(0.05)
+        assert args.no_degrade is False
+
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["compute", "v.raw", "--dims", "8", "8", "8",
+             "--block-timeout", "1.5", "--max-retries", "4",
+             "--retry-backoff", "0", "--no-degrade"]
+        )
+        assert args.block_timeout == pytest.approx(1.5)
+        assert args.max_retries == 4
+        assert args.retry_backoff == 0.0
+        assert args.no_degrade is True
+
+    def test_negative_max_retries_fails_readably(self, volume, capsys):
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--max-retries", "-1",
+        ])
+        assert rc == 2  # RetryPolicy validation, surfaced as CLI error
+        assert "error:" in capsys.readouterr().err
+
+    def test_compute_runs_with_fault_flags(self, volume, capsys):
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--blocks", "4",
+            "--max-retries", "3",
+            "--retry-backoff", "0",
+        ])
+        assert rc == 0
+        assert "critical points" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Golden-file regression test for the MSC block file format (§IV-G).
+
+``tests/data/golden_bumps8.msc`` was produced by :func:`golden_result`
+below (a fully deterministic 8-rank pipeline run over a seeded uniform
+random volume — pure-arithmetic input, so the bytes are stable across
+platforms) and committed.  If the on-disk format, the serialization
+order, or the pipeline's numeric output ever drifts, the byte-for-byte
+comparison here fails and the change has to be made deliberately: either
+fix the regression, or regenerate the golden file::
+
+    PYTHONPATH=src python -c "import tests.test_golden_mscfile as g; \
+        g.golden_result().write(str(g.GOLDEN))"
+
+and justify the format change in the commit.
+"""
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro.io.mscfile import MAGIC, read_msc_file, write_msc_file
+from repro.morse.msc import MorseSmaleComplex
+
+GOLDEN = Path(__file__).parent / "data" / "golden_bumps8.msc"
+
+
+def golden_result():
+    """The exact pipeline run the committed golden file captures."""
+    # default_rng avoids libm transcendentals => bit-stable across hosts
+    field = np.random.default_rng(42).random((9, 9, 9))
+    return repro.compute(field, persistence=0.1, ranks=8, retry_backoff=0.0)
+
+
+def test_pipeline_output_matches_golden_bytes(tmp_path):
+    out = tmp_path / "regen.msc"
+    golden_result().write(str(out))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_golden_reads_back_to_valid_complex():
+    blocks = read_msc_file(GOLDEN)
+    assert set(blocks) == {0}  # full merge leaves the root block only
+    msc = MorseSmaleComplex.from_payload(blocks[0])
+    counts = msc.node_counts_by_index()
+    assert sum(counts) == msc.num_alive_nodes() > 0
+    assert msc.num_alive_arcs() > 0
+    # content matches an in-memory recomputation, not just the bytes
+    ref = golden_result().output_blocks[0]
+    ref_payload = ref.to_payload()
+    for key, arr in blocks[0].items():
+        np.testing.assert_array_equal(arr, ref_payload[key])
+
+
+def test_write_read_write_is_identity(tmp_path):
+    """write∘read == identity on the golden file's records."""
+    blocks = read_msc_file(GOLDEN)
+    out = tmp_path / "rewritten.msc"
+    write_msc_file(out, sorted(blocks.items()))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_golden_footer_index_is_consistent():
+    data = GOLDEN.read_bytes()
+    assert data[-4:] == MAGIC
+    (footer_offset,) = struct.unpack_from("<Q", data, len(data) - 12)
+    (count,) = struct.unpack_from("<Q", data, footer_offset)
+    assert count == 1
+    pos = footer_offset + 8
+    end = 0
+    for _ in range(count):
+        block_id, off, ln = struct.unpack_from("<qQQ", data, pos)
+        pos += 24
+        assert block_id == 0
+        assert off == end  # records are packed back to back
+        end = off + ln
+    assert end == footer_offset  # index spans exactly all records

@@ -275,3 +275,134 @@ class TestVirtualClockWithWorkers:
         assert res.stats.compute_cpu_seconds > 0
         assert res.stats.compute_speedup > 0
         assert "compute stage" in res.stats.describe()
+
+
+# ---------------------------------------------------------------------------
+# fault-tolerance layer: RetryPolicy and FaultTolerantExecutor
+# ---------------------------------------------------------------------------
+
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.core.stats import FaultToleranceStats
+from repro.parallel.executor import (
+    ComputeStageError,
+    CorruptPayloadError,
+    FaultTolerantExecutor,
+    RetryPolicy,
+)
+
+
+@dataclass
+class _Spec:
+    block_id: int
+
+
+@dataclass
+class _Flaky:
+    """In-process stand-in for compute_block failing N times per block."""
+
+    failures: dict  # block_id -> number of leading attempts that raise
+    calls: list = dc_field(default_factory=list)
+
+    def __call__(self, spec):
+        self.calls.append(spec.block_id)
+        seen = self.calls.count(spec.block_id) - 1
+        if seen < self.failures.get(spec.block_id, 0):
+            raise RuntimeError(f"flaky block {spec.block_id} try {seen}")
+        return spec.block_id * 10
+
+
+class TestRetryPolicy:
+    def test_backoff_sequence_is_exponential(self):
+        p = RetryPolicy(backoff=0.5, backoff_factor=3.0)
+        assert [p.backoff_seconds(k) for k in (1, 2, 3)] == [0.5, 1.5, 4.5]
+
+    def test_zero_backoff_never_sleeps(self):
+        p = RetryPolicy(backoff=0.0)
+        assert p.backoff_seconds(1) == p.backoff_seconds(5) == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(block_timeout=0.0),
+            dict(block_timeout=-1.0),
+            dict(max_retries=-1),
+            dict(backoff=-0.1),
+            dict(backoff_factor=0.5),
+            dict(max_pool_restarts=-1),
+        ],
+    )
+    def test_invalid_settings_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestFaultTolerantSerial:
+    def _executor(self, **kw):
+        kw.setdefault("policy", RetryPolicy(backoff=0.0))
+        kw.setdefault("stats", FaultToleranceStats())
+        return FaultTolerantExecutor(kind="serial", **kw)
+
+    def test_no_faults_is_plain_map(self):
+        fn = _Flaky(failures={})
+        ex = self._executor()
+        assert ex.map_blocks(fn, [_Spec(i) for i in range(4)]) == [
+            0, 10, 20, 30,
+        ]
+        assert not ex.stats.any_faults()
+
+    def test_transient_failures_are_retried_in_place(self):
+        fn = _Flaky(failures={1: 1, 3: 2})
+        ex = self._executor()
+        assert ex.map_blocks(fn, [_Spec(i) for i in range(4)]) == [
+            0, 10, 20, 30,
+        ]
+        assert ex.stats.retries == 3 and ex.stats.crashes == 3
+
+    def test_exhaustion_raises_readable_compute_stage_error(self):
+        fn = _Flaky(failures={2: 99})
+        ex = self._executor(policy=RetryPolicy(max_retries=1, backoff=0.0))
+        with pytest.raises(ComputeStageError, match=r"block 2.*2 attempt"):
+            ex.map_blocks(fn, [_Spec(i) for i in range(3)])
+
+    def test_backoff_uses_injected_sleep(self):
+        naps = []
+        fn = _Flaky(failures={0: 2})
+        ex = self._executor(
+            policy=RetryPolicy(backoff=0.25, backoff_factor=2.0),
+            sleep=naps.append,
+        )
+        ex.map_blocks(fn, [_Spec(0)])
+        assert naps == [0.25, 0.5]
+        assert ex.stats.backoff_seconds == pytest.approx(0.75)
+
+    def test_validator_failure_counts_as_corruption_and_retries(self):
+        rejections = []
+
+        def validator(spec, payload):
+            if spec.block_id == 1 and not rejections:
+                rejections.append(payload)
+                raise CorruptPayloadError("checksum mismatch (test)")
+
+        ex = self._executor(validator=validator)
+        out = ex.map_blocks(_Flaky(failures={}), [_Spec(0), _Spec(1)])
+        assert out == [0, 10]
+        assert ex.stats.corrupt_payloads == 1 and ex.stats.crashes == 0
+
+    def test_results_keep_spec_order_despite_retries(self):
+        fn = _Flaky(failures={0: 2, 4: 1})
+        ex = self._executor()
+        specs = [_Spec(i) for i in range(5)]
+        assert ex.map_blocks(fn, specs) == [0, 10, 20, 30, 40]
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            FaultTolerantExecutor(kind="threads")
+        with pytest.raises(ValueError):
+            FaultTolerantExecutor(kind="process", workers=0)
+
+    def test_close_without_pool_is_noop(self):
+        ex = self._executor()
+        ex.close()
+        ex.close()

@@ -1,0 +1,148 @@
+"""Property-based tests of the radix-k merge schedules (paper §IV-F2).
+
+Exhaustively checks every process count 1-64 (the acceptance range) for
+all maximum radices, and fuzzes arbitrary partial schedules with
+hypothesis.  Core invariants:
+
+- a full-merge radix list is a valid factorization: every radix in
+  {2, 4, 8}, product equal to the block count, and any leftover smaller
+  radix placed in the *first* round (the paper's guideline);
+- a schedule's merge groups form an absorption forest: every block is
+  merged into a root *exactly once*, a merged block never reappears in
+  a later round, and the surviving roots are exactly the schedule's
+  output blocks.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.decomposition import decompose
+from repro.parallel.radixk import MergeSchedule, full_merge_radices
+
+DIMS = (65, 65, 65)  # big enough to split into 64 blocks on any axis mix
+
+
+def is_power_of_two(n: int) -> bool:
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def absorption_check(schedule, n: int, expected_outputs: int) -> None:
+    """Assert the groups of all rounds merge each block exactly once."""
+    decomp = schedule.decomposition
+    alive = set(range(n))
+    merged_ever: list[int] = []
+    for r in range(schedule.num_rounds):
+        groups = schedule.groups(r)
+        touched = set()
+        for root, members in groups:
+            rid = decomp.linear_id(root)
+            mids = [decomp.linear_id(m) for m in members]
+            assert rid not in mids
+            # the root is the lexicographically smallest group member
+            assert rid == min([rid] + mids)
+            for bid in [rid] + mids:
+                assert bid in alive, f"round {r} touches dead block {bid}"
+                assert bid not in touched, f"block {bid} in two groups"
+                touched.add(bid)
+            merged_ever.extend(mids)
+        # each round covers every surviving block exactly once
+        assert touched == alive
+        alive -= {decomp.linear_id(m) for _, ms in groups for m in ms}
+    # merged exactly once overall, survivors == declared outputs
+    assert len(merged_ever) == len(set(merged_ever)) == n - len(alive)
+    assert len(alive) == schedule.num_output_blocks == expected_outputs
+
+
+class TestFullMergeRadices:
+    @pytest.mark.parametrize("n", range(1, 65))
+    @pytest.mark.parametrize("max_radix", [2, 4, 8])
+    def test_every_process_count(self, n, max_radix):
+        if not is_power_of_two(n):
+            with pytest.raises(ValueError, match="power of two"):
+                full_merge_radices(n, max_radix)
+            return
+        radices = full_merge_radices(n, max_radix)
+        assert all(r in (2, 4, 8) for r in radices)
+        assert math.prod(radices) == n
+        # leftover-first guideline: all rounds after the first use the
+        # maximum radix, and no round exceeds it
+        assert all(r == max_radix for r in radices[1:])
+        assert all(r <= max_radix for r in radices)
+
+    @pytest.mark.parametrize("max_radix", [0, 1, 3, 5, 16])
+    def test_invalid_max_radix_rejected(self, max_radix):
+        with pytest.raises(ValueError, match="max_radix"):
+            full_merge_radices(8, max_radix)
+
+    def test_paper_schedules(self):
+        """The schedules quoted in the paper's Tables I/II and §VI-D1."""
+        assert full_merge_radices(2048) == [4, 8, 8, 8]
+        assert full_merge_radices(256) == [4, 8, 8]
+        assert full_merge_radices(8192) == [2, 8, 8, 8, 8]
+
+
+class TestFullScheduleAbsorption:
+    @pytest.mark.parametrize(
+        "n", [n for n in range(1, 65) if is_power_of_two(n)]
+    )
+    @pytest.mark.parametrize("max_radix", [2, 4, 8])
+    def test_each_block_merged_exactly_once(self, n, max_radix):
+        schedule = MergeSchedule(
+            decompose(DIMS, n), full_merge_radices(n, max_radix)
+        )
+        absorption_check(schedule, n, expected_outputs=1)
+
+    @pytest.mark.parametrize("n", [2, 8, 64])
+    def test_final_root_is_block_zero(self, n):
+        schedule = MergeSchedule(decompose(DIMS, n), full_merge_radices(n))
+        last = schedule.groups(schedule.num_rounds - 1)
+        assert len(last) == 1
+        assert schedule.decomposition.linear_id(last[0][0]) == 0
+
+
+@st.composite
+def partial_schedules(draw):
+    """A block count 2**k and a radix list whose product divides it."""
+    k = draw(st.integers(min_value=0, max_value=6))
+    radices, remaining = [], k
+    while remaining > 0:
+        choices = [r for r in (2, 4, 8) if r.bit_length() - 1 <= remaining]
+        r = draw(st.sampled_from(choices + [None]))  # None => stop early
+        if r is None:
+            break
+        radices.append(r)
+        remaining -= r.bit_length() - 1
+    return 2**k, radices
+
+
+class TestPartialSchedules:
+    @settings(max_examples=200, deadline=None)
+    @given(case=partial_schedules())
+    def test_partial_merge_absorption(self, case):
+        n, radices = case
+        schedule = MergeSchedule(decompose(DIMS, n), radices)
+        absorption_check(
+            schedule, n, expected_outputs=n // math.prod(radices)
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(case=partial_schedules())
+    def test_grids_shrink_by_round_factors(self, case):
+        n, radices = case
+        schedule = MergeSchedule(decompose(DIMS, n), radices)
+        assert len(schedule.grids) == len(radices) + 1
+        for rnd, before, after in zip(
+            schedule.rounds, schedule.grids, schedule.grids[1:]
+        ):
+            assert tuple(
+                b // f for b, f in zip(before, rnd.factors)
+            ) == tuple(after)
+            assert math.prod(rnd.factors) == rnd.radix
+
+    @pytest.mark.parametrize("bad", [1, 3, 5, 6, 16])
+    def test_disallowed_radix_rejected(self, bad):
+        with pytest.raises(ValueError, match="not allowed"):
+            MergeSchedule(decompose(DIMS, 8), [bad])

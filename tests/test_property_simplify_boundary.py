@@ -1,0 +1,95 @@
+"""Property-based test of the boundary invariant of §IV-E.
+
+"Arcs with a boundary endpoint are never cancelled": in the per-block
+parallel setting, critical points on internal cut planes are the handles
+later merge rounds glue along, so persistence simplification with
+``respect_boundary=True`` must leave every boundary node alive and never
+record a cancellation incident to one — at *any* threshold, on *any*
+input.  This fuzzes synthetic volumes and thresholds to pin that down.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mesh.cubical import CubicalComplex
+from repro.mesh.grid import StructuredGrid
+from repro.morse.gradient import compute_discrete_gradient
+from repro.morse.simplify import simplify_ms_complex
+from repro.morse.tracing import extract_ms_complex
+from repro.parallel.decomposition import decompose
+
+
+def block_complex(field: np.ndarray, num_blocks: int, bid: int):
+    """One block's unsimplified MS complex, exactly as the pipeline's
+    compute stage builds it (boundary flags from the cut planes)."""
+    decomp = decompose(field.shape, num_blocks)
+    grid = StructuredGrid(field)
+    box = decomp.block_box(decomp.block_coords(bid))
+    cx = CubicalComplex(
+        np.array(grid.extract_block(box), dtype=np.float64),
+        refined_origin=box.refined_origin,
+        global_refined_dims=decomp.global_refined_dims,
+        cut_planes=decomp.cut_planes,
+    )
+    return extract_ms_complex(compute_discrete_gradient(cx))
+
+
+def boundary_addresses(msc) -> set[int]:
+    return {
+        msc.node_address[n]
+        for n in msc.alive_nodes()
+        if msc.node_boundary[n]
+    }
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    threshold=st.floats(min_value=0.0, max_value=1.2),
+    num_blocks=st.sampled_from([2, 4, 8]),
+)
+def test_simplification_never_cancels_boundary_nodes(
+    seed, threshold, num_blocks
+):
+    field = np.random.default_rng(seed).random((9, 9, 9))
+    # corner blocks see the most cut planes; check first and last
+    for bid in (0, num_blocks - 1):
+        msc = block_complex(field, num_blocks, bid)
+        boundary = boundary_addresses(msc)
+        assert boundary, "cut planes must induce boundary nodes"
+        address_of = list(msc.node_address)  # pre-compaction ids
+        cancels = simplify_ms_complex(
+            msc, threshold, respect_boundary=True
+        )
+        for c in cancels:
+            assert c.upper_address not in boundary
+            assert c.lower_address not in boundary
+            for nid in c.killed_nodes:
+                assert address_of[nid] not in boundary
+        # every boundary node survives, bit-for-bit the same set
+        assert boundary_addresses(msc) == boundary
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_infinite_threshold_still_respects_boundary(seed):
+    """Even a threshold above the global range cancels no boundary node."""
+    field = np.random.default_rng(seed).random((7, 7, 7))
+    msc = block_complex(field, 8, 0)
+    boundary = boundary_addresses(msc)
+    simplify_ms_complex(msc, float(np.inf), respect_boundary=True)
+    assert boundary_addresses(msc) == boundary
+
+
+def test_invariant_is_sharp_without_boundary_protection():
+    """Sanity: with respect_boundary=False the same input *does* cancel
+    boundary nodes — the property above is not vacuously true."""
+    field = np.random.default_rng(3).random((9, 9, 9))
+    protected = block_complex(field, 8, 0)
+    unprotected = block_complex(field, 8, 0)
+    before = boundary_addresses(protected)
+    simplify_ms_complex(protected, float(np.inf), respect_boundary=True)
+    simplify_ms_complex(unprotected, float(np.inf), respect_boundary=False)
+    assert boundary_addresses(protected) == before
+    assert boundary_addresses(unprotected) != before
