@@ -27,7 +27,7 @@ import pytest
 
 from repro.core.merge import pack_complex
 from repro.data.synthetic import sinusoidal_field
-from bench_util import emit_table, run_pipeline
+from bench_util import emit_json, emit_table, run_pipeline
 
 POINTS = 65  # 65^3 vertices -> 8 blocks of ~33^3
 BLOCKS = 8
@@ -59,6 +59,7 @@ def bench_executor_speedup(runs, benchmark):
         f"{'workers':>8} {'executor':>9} {'wall(s)':>9} {'cpu(s)':>9} "
         f"{'speedup':>8} {'vs serial':>10}",
     ]
+    entries = []
     for w, res in sorted(runs.items()):
         s = res.stats
         vs_serial = serial_wall / s.compute_wall_seconds
@@ -67,7 +68,30 @@ def bench_executor_speedup(runs, benchmark):
             f"{s.compute_cpu_seconds:>9.3f} {s.compute_speedup:>8.2f} "
             f"{vs_serial:>9.2f}x"
         )
+        entries.append(
+            {
+                "workers": w,
+                "executor": s.executor,
+                "transport": s.transport.kind,
+                "compute_wall_s": s.compute_wall_seconds,
+                "compute_cpu_s": s.compute_cpu_seconds,
+                "speedup_vs_serial": vs_serial,
+                "dispatch_bytes": s.transport.dispatch_bytes,
+                "shared_volume_bytes": s.transport.shared_volume_bytes,
+                "stage_seconds": s.compute_stage_seconds(),
+            }
+        )
     emit_table("executor_speedup", lines)
+    emit_json(
+        "executor_speedup",
+        {
+            "field": f"{POINTS}^3 sinusoid",
+            "blocks": BLOCKS,
+            "persistence": THRESHOLD,
+            "host_cores": cores,
+            "runs": entries,
+        },
+    )
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 

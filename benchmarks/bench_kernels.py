@@ -104,3 +104,141 @@ def bench_kernel_glue(benchmark):
 
     stats = benchmark(run)
     assert stats.shared_nodes > 0
+
+
+# ---------------------------------------------------------------------------
+# machine-readable before/after record (repo-root BENCH_kernels.json)
+# ---------------------------------------------------------------------------
+
+#: kernel and end-to-end timings of this exact harness measured before
+#: the compute-stage hot-path overhaul (min over reps on the same
+#: single-core host; see ``harness`` in the emitted JSON)
+PRE_PR_BASELINE = {
+    "complex_build_s": 0.048314171000129136,
+    "gradient_s": 0.0973293819997707,
+    "trace_s": 0.24593847100004496,
+    "pool_nosimp_wall_s": 0.5715092420000474,
+}
+
+#: the end-to-end harness: the 24^3 bumps field in 8 blocks on a
+#: 2-worker process pool, no simplification, no retry backoff — the
+#: configuration both the baseline and the "after" wall are measured on
+E2E_CONFIG = dict(
+    num_blocks=8,
+    persistence_threshold=0.0,
+    simplify_at_zero_persistence=False,
+    workers=2,
+    executor="process",
+    retry_backoff=0.0,
+)
+
+
+def _best_of(fn, reps: int) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_kernels(reps: int = 7) -> dict:
+    """Serial kernel timings on the full field (min over ``reps``)."""
+    out = {}
+    out["complex_build_s"] = _best_of(lambda: CubicalComplex(FIELD), reps)
+    cx = CubicalComplex(FIELD)
+    out["gradient_s"] = _best_of(
+        lambda: compute_discrete_gradient(cx), reps
+    )
+    grad = compute_discrete_gradient(cx)
+
+    def trace():
+        # drop the memoized per-field trace state so every rep pays the
+        # one-time build the pipeline pays per block, like the baseline
+        if hasattr(grad, "_trace_state"):
+            del grad._trace_state
+        extract_ms_complex(grad)
+
+    out["trace_s"] = _best_of(trace, reps)
+    return out
+
+
+def measure_compute_wall(transport: str = "shm", reps: int = 5) -> float:
+    """End-to-end compute-stage wall on the pool (min over ``reps``)."""
+    from bench_util import run_pipeline
+
+    walls = []
+    for _ in range(reps):
+        res = run_pipeline(FIELD, transport=transport, **E2E_CONFIG)
+        walls.append(res.stats.compute_wall_seconds)
+    return min(walls)
+
+
+def collect_before_after(
+    kernel_reps: int = 7, e2e_reps: int = 5
+) -> dict:
+    """The full before/after record ``BENCH_kernels.json`` holds."""
+    import os
+    import sys
+
+    after = measure_kernels(kernel_reps)
+    after["pool_nosimp_wall_s"] = measure_compute_wall("shm", e2e_reps)
+    after["transport"] = "shm"
+    before = dict(PRE_PR_BASELINE)
+    speedup = {
+        k.removesuffix("_s"): before[k] / after[k]
+        for k in before
+        if after.get(k)
+    }
+    speedup["compute_stage_end_to_end"] = (
+        before["pool_nosimp_wall_s"] / after["pool_nosimp_wall_s"]
+    )
+    return {
+        "field": "gaussian_bumps 24^3, 8 bumps, seed 1, noise 0.005",
+        "harness": {
+            **E2E_CONFIG,
+            "metric": "stats.compute_wall_seconds, min over reps",
+            "kernel_reps": kernel_reps,
+            "e2e_reps": e2e_reps,
+        },
+        "host": {
+            "cores": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "before": before,
+        "after": after,
+        "speedup": speedup,
+    }
+
+
+def bench_kernel_before_after_json(benchmark):
+    """Regenerate the repo-root ``BENCH_kernels.json`` record."""
+    from pathlib import Path
+
+    from bench_util import emit_json
+
+    record = collect_before_after()
+    path = emit_json(
+        "BENCH_kernels",
+        record,
+        path=Path(__file__).resolve().parent.parent / "BENCH_kernels.json",
+    )
+    print(f"\nwrote {path}; speedups: " + " ".join(
+        f"{k}={v:.2f}x" for k, v in sorted(record["speedup"].items())
+    ))
+    assert record["speedup"]["compute_stage_end_to_end"] > 1.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    import json
+    from pathlib import Path
+
+    record = collect_before_after()
+    out = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    for k, v in sorted(record["speedup"].items()):
+        print(f"  {k}: {v:.3f}x")

@@ -49,3 +49,19 @@ def emit_table(name: str, lines: list[str]) -> None:
     print(f"\n===== {name} =====\n{text}\n", file=sys.stderr)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, payload: dict, path: Path | None = None) -> Path:
+    """Persist a machine-readable benchmark record as JSON.
+
+    Defaults to ``benchmarks/results/<name>.json``; pass ``path`` to
+    write elsewhere (e.g. the repo-root ``BENCH_kernels.json``).
+    Returns the written path.
+    """
+    import json
+
+    if path is None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -49,6 +49,7 @@ def compute(
     persistence: float = 0.0,
     workers: int = 1,
     ranks: int = 1,
+    transport: str = "auto",
     merge_radix: int | Sequence[int] | str = 2,
     validate: bool = False,
     block_timeout: float | None = None,
@@ -83,6 +84,13 @@ def compute(
         explicit sequence of radices runs a custom (possibly partial)
         schedule; ``"none"`` skips merging and leaves ``ranks`` output
         blocks.
+    transport:
+        How block vertex data reaches pool workers: ``"pickle"`` ships
+        each block's subarray by value, ``"shm"`` publishes the volume
+        once into POSIX shared memory and ships only a tiny handle per
+        block (zero-copy), ``"auto"`` (default) picks ``"shm"``
+        exactly when the compute stage runs on a process pool.
+        Results are bit-identical on either transport.
     validate:
         Run structural invariant checks after every stage (slow).
     block_timeout:
@@ -139,6 +147,7 @@ def compute(
         # ranks == workers == 1 is the serial path: single block, no
         # pool, no merge rounds; anything else runs the full pipeline
         executor="serial" if workers == 1 else "process",
+        transport=transport,
         block_timeout=block_timeout,
         max_retries=max_retries,
         retry_backoff=retry_backoff,

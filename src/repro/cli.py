@@ -60,6 +60,12 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--workers", type=_positive_int, default=1,
                    help="shared-memory worker processes for the compute "
                         "stage (default: 1, serial)")
+    c.add_argument("--transport", default="auto",
+                   choices=("auto", "pickle", "shm"),
+                   help="block-data transport to pool workers: pickle "
+                        "ships subarrays by value, shm publishes the "
+                        "volume once into shared memory (auto: shm "
+                        "exactly when a process pool runs)")
     c.add_argument("--executor", default="auto",
                    choices=("auto", "serial", "process"),
                    help="compute-stage backend (default: auto — a "
@@ -145,6 +151,7 @@ def _cmd_compute(args) -> int:
             merge_radices=radices,
             workers=args.workers,
             executor=args.executor,
+            transport=args.transport,
             block_timeout=args.block_timeout,
             max_retries=args.max_retries,
             retry_backoff=args.retry_backoff,

@@ -17,6 +17,7 @@ from typing import Any
 from repro.machine.bgp import BlueGenePParams
 from repro.parallel.executor import EXECUTOR_KINDS, RetryPolicy
 from repro.parallel.radixk import MergeSchedule, full_merge_radices
+from repro.parallel.transport import TRANSPORT_KINDS
 
 __all__ = ["PipelineConfig", "MergeSchedule"]
 
@@ -65,6 +66,14 @@ class PipelineConfig:
     executor:
         Compute-stage backend: ``"auto"`` (worker pool exactly when
         ``workers > 1``), ``"serial"``, or ``"process"``.
+    transport:
+        How block vertex data reaches compute workers: ``"pickle"``
+        ships each block's subarray by value inside its spec;
+        ``"shm"`` publishes the volume once into a POSIX shared-memory
+        segment and ships only a tiny handle per block (zero-copy,
+        retries re-read from the segment).  ``"auto"`` (default) picks
+        ``"shm"`` exactly when the compute stage runs on a process
+        pool.  Results are bit-identical on either transport.
     block_timeout:
         Per-block compute timeout in seconds, enforced on the process
         backend; ``None`` (default) waits forever.  A timed-out block is
@@ -105,6 +114,7 @@ class PipelineConfig:
     simplify_at_zero_persistence: bool = True
     workers: int = 1
     executor: str = "auto"
+    transport: str = "auto"
     block_timeout: float | None = None
     max_retries: int = 2
     retry_backoff: float = 0.05
@@ -131,6 +141,11 @@ class PipelineConfig:
                 f"executor must be one of {EXECUTOR_KINDS}, "
                 f"got {self.executor!r}"
             )
+        if self.transport not in TRANSPORT_KINDS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORT_KINDS}, "
+                f"got {self.transport!r}"
+            )
         # RetryPolicy validates the fault-tolerance knobs; fail at
         # config-construction time, not mid-pipeline
         self.retry_policy()
@@ -155,6 +170,18 @@ class PipelineConfig:
         if self.executor == "auto":
             return "process" if self.workers > 1 else "serial"
         return self.executor
+
+    @property
+    def resolved_transport(self) -> str:
+        """Concrete transport kind after resolving ``"auto"``.
+
+        Shared memory pays off exactly when block data crosses a process
+        boundary; in-process (serial) execution reads the driver's own
+        arrays, so ``"auto"`` keeps the plain by-value path there.
+        """
+        if self.transport == "auto":
+            return "shm" if self.resolved_executor == "process" else "pickle"
+        return self.transport
 
     def resolve_radices(self) -> list[int]:
         """Concrete list of merge-round radices."""

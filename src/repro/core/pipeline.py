@@ -58,11 +58,12 @@ from repro.core.stats import (
     MergeEventStats,
     PipelineStats,
     RankTimeline,
+    TransportStats,
 )
 from repro.io.mscfile import serialize_payload
 from repro.io.volume import VolumeSpec, read_block
 from repro.machine.costmodel import ComputeWork, CostModel, MergeWork
-from repro.mesh.cubical import CubicalComplex
+from repro.mesh.cubical import CubicalComplex, structure_tables
 from repro.mesh.grid import Box, StructuredGrid
 from repro.morse.gradient import compute_discrete_gradient
 from repro.morse.msc import MorseSmaleComplex
@@ -75,6 +76,7 @@ from repro.morse.validate import (
 )
 from repro.parallel.decomposition import BlockDecomposition, decompose
 from repro.parallel.executor import CorruptPayloadError, FaultTolerantExecutor
+from repro.parallel.transport import SPEC_HEADER_BYTES, SharedVolumeHandle
 from repro.parallel.radixk import MergeSchedule
 from repro.parallel.runtime import VirtualMPI, pool_makespan
 
@@ -154,8 +156,10 @@ class BlockSpec:
     """Everything needed to compute one block, picklable and immutable.
 
     Exactly one of ``values`` (the block's vertex samples, shared layers
-    included) and ``volume`` (a raw volume file the worker reads its own
-    subarray from, the parallel-I/O path of §IV-B) is set.
+    included), ``volume`` (a raw volume file the worker reads its own
+    subarray from, the parallel-I/O path of §IV-B) and ``shm`` (a
+    published shared-memory volume the worker attaches to and slices its
+    block view from — the zero-copy transport) is set.
     """
 
     block_id: int
@@ -168,6 +172,14 @@ class BlockSpec:
     validate: bool
     values: np.ndarray | None = None
     volume: VolumeSpec | None = None
+    shm: SharedVolumeHandle | None = None
+
+    @property
+    def transport_nbytes(self) -> int:
+        """Bytes one dispatch of this spec ships to a worker."""
+        if self.values is not None:
+            return int(self.values.nbytes) + SPEC_HEADER_BYTES
+        return SPEC_HEADER_BYTES
 
 
 @dataclass
@@ -192,6 +204,11 @@ class BlockPayload:
     #: CRC-32 of ``blob`` at pack time; the driver re-checks it so a
     #: payload corrupted in transit is detected and the block retried
     checksum: int = 0
+    #: real seconds per compute phase
+    #: (keys: :data:`repro.core.stats.COMPUTE_STAGES`)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: bytes the spec of this attempt shipped to the worker
+    transport_nbytes: int = 0
 
 
 def compute_block(spec: BlockSpec) -> BlockPayload:
@@ -203,10 +220,20 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
     payload bytes (§IV-C's boundary-restricted pairing makes the result
     independent of all other blocks).
     """
-    if (spec.values is None) == (spec.volume is None):
-        raise ValueError("spec must carry exactly one of values/volume")
+    sources = sum(
+        x is not None for x in (spec.values, spec.volume, spec.shm)
+    )
+    if sources != 1:
+        raise ValueError(
+            "spec must carry exactly one of values/volume/shm"
+        )
     if spec.values is not None:
-        block_values = np.asarray(spec.values, dtype=np.float64)
+        # no normalization here: CubicalComplex copies at most once
+        block_values = spec.values
+    elif spec.shm is not None:
+        # zero-copy: attach (cached per process) and slice the block's
+        # view; CubicalComplex makes the single per-block copy
+        block_values = spec.shm.open()[spec.box.slices()]
     else:
         block_values = read_block(spec.volume, spec.box)
     t0 = time.perf_counter()
@@ -216,11 +243,14 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
         global_refined_dims=spec.global_refined_dims,
         cut_planes=spec.cut_planes,
     )
+    t1 = time.perf_counter()
     gradient = compute_discrete_gradient(cx)
+    t2 = time.perf_counter()
     if spec.validate:
         assert_gradient_field_valid(gradient)
         assert_acyclic(gradient)
     msc = extract_ms_complex(gradient)
+    t3 = time.perf_counter()
     geometry_traced = msc.total_geometry_length()
     crit_counts = gradient.critical_counts()
     if (
@@ -235,8 +265,10 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
     msc.compact()
     if spec.validate:
         assert_ms_complex_valid(msc)
-    real = time.perf_counter() - t0
+    t4 = time.perf_counter()
+    real = t4 - t0
     blob = pack_complex(msc)
+    t5 = time.perf_counter()
     return BlockPayload(
         block_id=spec.block_id,
         blob=blob,
@@ -248,6 +280,14 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
         cancellations=len(cancels),
         real_seconds=real,
         checksum=zlib.crc32(blob),
+        stage_seconds={
+            "build": t1 - t0,
+            "gradient": t2 - t1,
+            "trace": t3 - t2,
+            "simplify": t4 - t3,
+            "pack": t5 - t4,
+        },
+        transport_nbytes=spec.transport_nbytes,
     )
 
 
@@ -321,12 +361,26 @@ class ParallelMSComplexPipeline:
         decomp: BlockDecomposition,
         grid: StructuredGrid | None,
         volume: VolumeSpec | None,
+        shm: SharedVolumeHandle | None = None,
     ) -> list[BlockSpec]:
-        """Picklable per-block work orders, in block-id order."""
+        """Picklable per-block work orders, in block-id order.
+
+        With ``shm`` set (the zero-copy transport), specs carry only the
+        tiny segment handle; workers slice their block out of the
+        published volume themselves.
+        """
         cfg = self.config
         specs = []
         for bid in range(decomp.num_blocks):
             box = decomp.block_box(decomp.block_coords(bid))
+            if shm is not None:
+                values = None
+            elif grid is not None:
+                values = np.ascontiguousarray(
+                    grid.extract_block(box), dtype=np.float64
+                )
+            else:
+                values = None
             specs.append(
                 BlockSpec(
                     block_id=bid,
@@ -339,12 +393,9 @@ class ParallelMSComplexPipeline:
                         cfg.simplify_at_zero_persistence
                     ),
                     validate=cfg.validate,
-                    values=(
-                        np.array(grid.extract_block(box), dtype=np.float64)
-                        if grid is not None
-                        else None
-                    ),
+                    values=values,
                     volume=volume,
+                    shm=shm,
                 )
             )
         return specs
@@ -401,7 +452,7 @@ class ParallelMSComplexPipeline:
         # wrapped in the fault-tolerance layer: per-block timeouts,
         # bounded retries, pool restarts, degradation to serial
         ft = FaultToleranceStats()
-        specs = self._block_specs(decomp, grid, volume)
+        transport = TransportStats(kind=cfg.resolved_transport)
         executor = FaultTolerantExecutor(
             kind=cfg.resolved_executor,
             workers=cfg.workers,
@@ -409,9 +460,20 @@ class ParallelMSComplexPipeline:
             plan=cfg.faults,
             validator=validate_block_payload,
             stats=ft,
+            transport=transport,
         )
-        tc0 = time.perf_counter()
         try:
+            shm_handle = None
+            if transport.kind == "shm" and grid is not None:
+                shm_handle = executor.publish_volume(grid.values)
+            specs = self._block_specs(decomp, grid, volume, shm=shm_handle)
+            # warm the structure-table memo for every block shape before
+            # the pool forks: forked workers inherit the built tables
+            for spec in specs:
+                structure_tables(
+                    tuple(2 * n + 1 for n in spec.box.shape)
+                )
+            tc0 = time.perf_counter()
             payload_list = executor.map_blocks(compute_block, specs)
         finally:
             executor.close()
@@ -444,6 +506,7 @@ class ParallelMSComplexPipeline:
             executor=cfg.resolved_executor,
             compute_wall_seconds=compute_wall,
             faults=ft,
+            transport=transport,
         )
         output_blocks: dict[int, MorseSmaleComplex] = {}
         for ret in rank_returns:
@@ -522,6 +585,8 @@ def _rank_main(comm, ctx: _RunContext):
                 cancellations=payload.cancellations,
                 real_seconds=payload.real_seconds,
                 virtual_seconds=virt,
+                stage_seconds=dict(payload.stage_seconds),
+                transport_nbytes=payload.transport_nbytes,
             )
         )
     timeline.compute = pool_makespan(block_virtual, cfg.workers)

@@ -21,7 +21,12 @@ __all__ = [
     "MergeEventStats",
     "RankTimeline",
     "PipelineStats",
+    "TransportStats",
+    "COMPUTE_STAGES",
 ]
+
+#: compute-stage phases timed per block, in execution order
+COMPUTE_STAGES = ("build", "gradient", "trace", "simplify", "pack")
 
 
 @dataclass
@@ -88,6 +93,30 @@ class FaultToleranceStats:
 
 
 @dataclass
+class TransportStats:
+    """Byte accounting of the compute stage's block transport."""
+
+    #: concrete transport the run used ("pickle" or "shm")
+    kind: str = "pickle"
+    #: bytes of the published shared-memory volume (0 on pickle)
+    shared_volume_bytes: int = 0
+    #: bytes shipped to workers across every dispatch, retries included
+    dispatch_bytes: int = 0
+    #: compute dispatches performed (first attempts + retries)
+    dispatches: int = 0
+
+    def describe(self) -> str:
+        """One-line summary, e.g. for the CLI timing report."""
+        out = (
+            f"transport: {self.kind}, {self.dispatches} dispatches, "
+            f"{self.dispatch_bytes} bytes shipped"
+        )
+        if self.shared_volume_bytes:
+            out += f" (+{self.shared_volume_bytes} bytes published once)"
+        return out
+
+
+@dataclass
 class BlockComputeStats:
     """Compute-stage record of one block."""
 
@@ -101,6 +130,10 @@ class BlockComputeStats:
     cancellations: int
     real_seconds: float
     virtual_seconds: float
+    #: real seconds per compute phase (keys: COMPUTE_STAGES)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    #: bytes this block's spec shipped to its worker (last attempt)
+    transport_nbytes: int = 0
 
 
 @dataclass
@@ -155,6 +188,8 @@ class PipelineStats:
     compute_wall_seconds: float = 0.0
     #: fault-tolerance observability (retries, timeouts, degradations)
     faults: FaultToleranceStats = field(default_factory=FaultToleranceStats)
+    #: block-transport observability (kind, bytes shipped per dispatch)
+    transport: TransportStats = field(default_factory=TransportStats)
 
     # -- virtual stage times (paper-style reporting) ---------------------
 
@@ -224,6 +259,19 @@ class PipelineStats:
             return 1.0
         return self.compute_cpu_seconds / self.compute_wall_seconds
 
+    def compute_stage_seconds(self) -> dict[str, float]:
+        """Real seconds per compute phase, summed over blocks.
+
+        Keys are :data:`COMPUTE_STAGES`; blocks computed before the
+        per-stage timers existed (or merged-in foreign payloads)
+        contribute nothing.
+        """
+        out = {k: 0.0 for k in COMPUTE_STAGES}
+        for b in self.block_stats:
+            for k, v in b.stage_seconds.items():
+                out[k] = out.get(k, 0.0) + v
+        return out
+
     # -- structure summaries ----------------------------------------------
 
     def total_cells(self) -> int:
@@ -249,6 +297,13 @@ class PipelineStats:
             f"  output: {self.output_bytes} bytes, "
             f"messages: {self.message_bytes} bytes",
         ]
+        stages = self.compute_stage_seconds()
+        if any(stages.values()):
+            lines.append(
+                "  compute stages: "
+                + " ".join(f"{k}={v:.3f}s" for k, v in stages.items())
+            )
+        lines.append("  " + self.transport.describe())
         if self.faults.any_faults():
             lines.append("  " + self.faults.describe())
         return "\n".join(lines)

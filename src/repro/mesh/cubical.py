@@ -17,17 +17,40 @@ lexicographic comparison of their descending-sorted vertex-value lists,
 with the global cell address as the final tie-break.  The order is exposed
 as a dense integer rank so the gradient sweep can compare cells with one
 integer comparison.
+
+Structure-table memoization
+---------------------------
+Everything about the complex that depends only on the block's *shape* —
+celltype and dimension per padded cell, the valid-cell mask, the
+facet/cofacet flat-offset tables, the padded-layout scatter indices, and
+the per-celltype candidate tables the gradient and tracing kernels walk
+— is factored into :class:`MeshStructureTables` and memoized per
+``padded_shape`` in a module-level LRU cache.  A worker process
+computing many same-shaped blocks builds these tables once, not once
+per block; per-*block* data (vertex values, cell values, global
+addresses, boundary signatures, SoS ranks) is never cached.  The cached
+arrays are marked read-only and shared by reference, so cache reuse
+cannot change a single output bit (asserted by the test suite).
 """
 
 from __future__ import annotations
 
-from functools import cached_property
+from dataclasses import dataclass
+from functools import cached_property, lru_cache
 
 import numpy as np
 
 from repro.mesh.addressing import boundary_signature, global_refined_address
 
-__all__ = ["CubicalComplex", "CELL_DIM_NAMES"]
+__all__ = [
+    "CubicalComplex",
+    "CELL_DIM_NAMES",
+    "MeshStructureTables",
+    "build_structure_tables",
+    "structure_tables",
+    "structure_cache_info",
+    "clear_structure_cache",
+]
 
 #: Human-readable names of critical cells by index, for summaries.
 CELL_DIM_NAMES = ("minimum", "1-saddle", "2-saddle", "maximum")
@@ -38,6 +61,172 @@ _POPCOUNT3 = np.array([0, 1, 1, 2, 1, 2, 2, 3], dtype=np.uint8)
 def _axis_bits(t: int) -> tuple[int, int, int]:
     """Parity bits (x, y, z) of celltype ``t``."""
     return (t & 1, (t >> 1) & 1, (t >> 2) & 1)
+
+
+@dataclass(frozen=True)
+class MeshStructureTables:
+    """Shape-dependent structure of every block with one ``padded_shape``.
+
+    All arrays are flat over the padded layout (x fastest) and read-only;
+    instances are shared between every :class:`CubicalComplex` of the
+    same shape via :func:`structure_tables`.
+    """
+
+    padded_shape: tuple[int, int, int]
+    refined_shape: tuple[int, int, int]
+    #: flat-index steps per axis in the padded grid (x fastest)
+    steps: tuple[int, int, int]
+    num_padded: int
+    num_cells: int
+    #: celltype (parity bits) per padded cell; sentinels hold 0
+    celltype: np.ndarray
+    #: cell dimension (popcount of celltype) per padded cell
+    cell_dim: np.ndarray
+    #: True exactly on the refined interior (sentinels False)
+    valid: np.ndarray
+    #: flat padded indices of the refined interior, in C order of the
+    #: refined block — the scatter index embedding a refined-grid array
+    #: into the padded flat layout
+    interior_index: np.ndarray
+    #: facet flat offsets per celltype
+    facet_offsets: tuple[tuple[int, ...], ...]
+    #: cofacet flat offsets per celltype
+    cofacet_offsets: tuple[tuple[int, ...], ...]
+    #: flat offset per direction code 0..5 (+x, -x, +y, -y, +z, -z)
+    dir_offsets: tuple[int, int, int, int, int, int]
+    #: gradient-sweep candidates per celltype: for each cofacet of a
+    #: t-cell, ``(offset, code_tail, code_head, other_facet_offsets)``
+    #: where the codes are the direction codes of the tail->head and
+    #: head->tail arrows and ``other_facet_offsets`` are the cofacet's
+    #: facet offsets excluding the one leading back to the tail
+    pair_candidates: tuple[
+        tuple[tuple[int, int, int, tuple[int, ...]], ...], ...
+    ]
+    #: V-path continuation table: ``trace_facets[t][code]`` lists the
+    #: facet offsets of a t-cell excluding ``dir_offsets[code ^ 1]`` —
+    #: the facet a descending trace arrived through when the arriving
+    #: cell's pairing code is ``code``
+    trace_facets: tuple[tuple[tuple[int, ...], ...], ...]
+    #: padded indices of valid cells per dimension (layout order, not
+    #: SoS order — the data-dependent sort stays per block)
+    cells_of_dim: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def build_structure_tables(
+    padded_shape: tuple[int, int, int],
+) -> MeshStructureTables:
+    """Construct the structure tables of one padded shape (uncached)."""
+    px, py, pz = padded_shape
+    refined_shape = (px - 2, py - 2, pz - 2)
+    rx, ry, rz = refined_shape
+    steps = (1, px, px * py)
+    num_padded = px * py * pz
+    num_cells = rx * ry * rz
+
+    ri = np.arange(rx, dtype=np.int64)[:, None, None]
+    rj = np.arange(ry, dtype=np.int64)[None, :, None]
+    rk = np.arange(rz, dtype=np.int64)[None, None, :]
+
+    # scatter index: flat padded position of each refined cell, in the
+    # C order of the refined block (so ``flat[idx] = arr3d.ravel()``
+    # embeds without any layout copy)
+    idx3 = (ri + 1) * steps[0] + (rj + 1) * steps[1] + (rk + 1) * steps[2]
+    interior_index = np.ascontiguousarray(idx3).ravel()
+
+    ctype3 = ((ri & 1) | ((rj & 1) << 1) | ((rk & 1) << 2)).astype(np.uint8)
+    celltype = np.zeros(num_padded, dtype=np.uint8)
+    celltype[interior_index] = np.broadcast_to(
+        ctype3, refined_shape
+    ).ravel()
+    cell_dim = _POPCOUNT3[celltype]
+
+    valid = np.zeros(num_padded, dtype=bool)
+    valid[interior_index] = True
+
+    facet: list[tuple[int, ...]] = []
+    cofacet: list[tuple[int, ...]] = []
+    for t in range(8):
+        bits = _axis_bits(t)
+        f: list[int] = []
+        c: list[int] = []
+        for a in range(3):
+            if bits[a]:
+                f += [steps[a], -steps[a]]
+            else:
+                c += [steps[a], -steps[a]]
+        facet.append(tuple(f))
+        cofacet.append(tuple(c))
+    facet_offsets = tuple(facet)
+    cofacet_offsets = tuple(cofacet)
+
+    sx, sy, sz = steps
+    dir_offsets = (sx, -sx, sy, -sy, sz, -sz)
+    code_of_offset = {off: code for code, off in enumerate(dir_offsets)}
+
+    pair_candidates = []
+    for t in range(8):
+        cands = []
+        for off in cofacet_offsets[t]:
+            head_type = int(
+                t | (1 << [abs(off) == s for s in steps].index(True))
+            )
+            others = tuple(
+                foff for foff in facet_offsets[head_type] if foff != -off
+            )
+            fwd = code_of_offset[off]
+            cands.append((off, fwd, fwd ^ 1, others))
+        pair_candidates.append(tuple(cands))
+
+    trace_facets = tuple(
+        tuple(
+            tuple(
+                foff
+                for foff in facet_offsets[t]
+                if foff != dir_offsets[code ^ 1]
+            )
+            for code in range(6)
+        )
+        for t in range(8)
+    )
+
+    cells_of_dim = tuple(
+        np.flatnonzero(valid & (cell_dim == d)) for d in range(4)
+    )
+
+    for arr in (celltype, cell_dim, valid, interior_index, *cells_of_dim):
+        arr.setflags(write=False)
+
+    return MeshStructureTables(
+        padded_shape=tuple(int(n) for n in padded_shape),
+        refined_shape=refined_shape,
+        steps=steps,
+        num_padded=num_padded,
+        num_cells=num_cells,
+        celltype=celltype,
+        cell_dim=cell_dim,
+        valid=valid,
+        interior_index=interior_index,
+        facet_offsets=facet_offsets,
+        cofacet_offsets=cofacet_offsets,
+        dir_offsets=dir_offsets,
+        pair_candidates=tuple(pair_candidates),
+        trace_facets=trace_facets,
+        cells_of_dim=cells_of_dim,
+    )
+
+
+#: memoized entry point: one table set per padded shape per process
+structure_tables = lru_cache(maxsize=64)(build_structure_tables)
+
+
+def structure_cache_info():
+    """Hit/miss statistics of the structure-table cache."""
+    return structure_tables.cache_info()
+
+
+def clear_structure_cache() -> None:
+    """Drop every cached table set (tests; never required in production)."""
+    structure_tables.cache_clear()
 
 
 class CubicalComplex:
@@ -59,6 +248,10 @@ class CubicalComplex:
         domain decomposition; cells on a cut plane receive a non-zero
         boundary signature that restricts gradient pairing.  ``None``
         (serial) means every cell has signature 0.
+    use_structure_cache:
+        Look the shape-dependent tables up in the module-level memo
+        (default).  ``False`` rebuilds them from scratch — only useful
+        for tests asserting the cache is output-invisible.
     """
 
     def __init__(
@@ -67,7 +260,11 @@ class CubicalComplex:
         refined_origin: tuple[int, int, int] = (0, 0, 0),
         global_refined_dims: tuple[int, int, int] | None = None,
         cut_planes: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+        use_structure_cache: bool = True,
     ) -> None:
+        # the single normalization point for block values: at most one
+        # copy, and none when the caller already holds a contiguous
+        # float64 array
         block_values = np.ascontiguousarray(block_values, dtype=np.float64)
         if block_values.ndim != 3:
             raise ValueError("block_values must be a 3D array")
@@ -92,14 +289,23 @@ class CubicalComplex:
                     "block refined extent exceeds global refined dims"
                 )
 
-        px, py, _pz = self.padded_shape
-        #: flat-index steps per axis in the padded grid (x fastest)
-        self.steps = (1, px, px * py)
-        self.num_padded = int(np.prod(self.padded_shape))
-        self.num_cells = int(np.prod(self.refined_shape))
+        tables = (
+            structure_tables(self.padded_shape)
+            if use_structure_cache
+            else build_structure_tables(self.padded_shape)
+        )
+        #: shared shape-dependent structure (see module docstring)
+        self.tables = tables
+        self.steps = tables.steps
+        self.num_padded = tables.num_padded
+        self.num_cells = tables.num_cells
+        self.celltype = tables.celltype
+        self.cell_dim = tables.cell_dim
+        self.valid = tables.valid
+        self.facet_offsets = tables.facet_offsets
+        self.cofacet_offsets = tables.cofacet_offsets
 
         self._build_flat_arrays(cut_planes)
-        self._build_offset_tables()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -107,9 +313,11 @@ class CubicalComplex:
 
     def _pad_and_flatten(self, arr3d: np.ndarray, fill) -> np.ndarray:
         """Embed a refined-grid array into the padded flat layout."""
-        padded = np.full(self.padded_shape, fill, dtype=arr3d.dtype)
-        padded[1:-1, 1:-1, 1:-1] = arr3d
-        return padded.ravel(order="F")
+        flat = np.full(self.num_padded, fill, dtype=arr3d.dtype)
+        flat[self.tables.interior_index] = np.ascontiguousarray(
+            arr3d
+        ).ravel()
+        return flat
 
     def _build_flat_arrays(self, cut_planes) -> None:
         rx, ry, rz = self.refined_shape
@@ -118,17 +326,6 @@ class CubicalComplex:
         ri = np.arange(rx, dtype=np.int64)[:, None, None]
         rj = np.arange(ry, dtype=np.int64)[None, :, None]
         rk = np.arange(rz, dtype=np.int64)[None, None, :]
-
-        # celltype: parity bits of the refined coordinate
-        ctype = (
-            (ri & 1) | ((rj & 1) << 1) | ((rk & 1) << 2)
-        ).astype(np.uint8)
-        ctype = np.broadcast_to(ctype, self.refined_shape)
-        self.celltype = self._pad_and_flatten(np.ascontiguousarray(ctype), 0)
-        self.cell_dim = _POPCOUNT3[self.celltype]
-
-        valid3d = np.ones(self.refined_shape, dtype=bool)
-        self.valid = self._pad_and_flatten(valid3d, False)
 
         # cell values: separable max over the vertices of each cell
         ref = np.full(self.refined_shape, -np.inf)
@@ -194,10 +391,20 @@ class CubicalComplex:
             global_refined_address(gi, gj, gk, self.global_refined_dims),
             self.refined_shape,
         )
-        flat_cols = [c.ravel(order="F") for c in cols]
+        # Order-preserving compression of the eight float32 keys into
+        # four uint64 keys: map each float to a monotone uint32 (IEEE
+        # bit trick), then pack adjacent key pairs big-end-first.  The
+        # lexicographic order of the packed keys equals that of the
+        # original float keys, and lexsort runs half the passes.
+        u = cols.view(np.uint32)
+        u = u ^ np.where(
+            (u >> 31) != 0, np.uint32(0xFFFFFFFF), np.uint32(0x80000000)
+        )
+        packed = (u[0::2].astype(np.uint64) << np.uint64(32)) | u[1::2]
+        flat_packed = [p.ravel(order="F") for p in packed]
         flat_addr = addr3d.ravel(order="F")
         # np.lexsort: last key is primary
-        keys = (flat_addr,) + tuple(flat_cols[::-1])
+        keys = (flat_addr,) + tuple(flat_packed[::-1])
         perm = np.lexsort(keys)
         rank3d = np.empty(self.num_cells, dtype=np.int64)
         rank3d[perm] = np.arange(self.num_cells, dtype=np.int64)
@@ -205,24 +412,6 @@ class CubicalComplex:
             rank3d.reshape(self.refined_shape, order="F"),
             np.iinfo(np.int64).max,
         )
-
-    def _build_offset_tables(self) -> None:
-        """Facet/cofacet flat-offset tables indexed by celltype."""
-        facet: list[tuple[int, ...]] = []
-        cofacet: list[tuple[int, ...]] = []
-        for t in range(8):
-            bits = _axis_bits(t)
-            f: list[int] = []
-            c: list[int] = []
-            for a in range(3):
-                if bits[a]:
-                    f += [self.steps[a], -self.steps[a]]
-                else:
-                    c += [self.steps[a], -self.steps[a]]
-            facet.append(tuple(f))
-            cofacet.append(tuple(c))
-        self.facet_offsets = tuple(facet)
-        self.cofacet_offsets = tuple(cofacet)
 
     # ------------------------------------------------------------------
     # coordinate / identity helpers
@@ -249,7 +438,7 @@ class CubicalComplex:
         """Padded flat indices of valid cells per dimension, in SoS order."""
         out = []
         for d in range(4):
-            cells = np.flatnonzero(self.valid & (self.cell_dim == d))
+            cells = self.tables.cells_of_dim[d]
             order = np.argsort(self.order_rank[cells], kind="stable")
             out.append(cells[order].astype(np.int64))
         return tuple(out)

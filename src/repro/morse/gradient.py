@@ -30,6 +30,18 @@ A cell is paired with a co-facet only when every *other* facet of that
 co-facet is already assigned, so the assignment times strictly decrease
 along any V-path; hence no V-path can revisit a cell and the constructed
 vector field is a discrete *gradient* field.
+
+Implementation notes
+--------------------
+The greedy sweep is the compute-stage bottleneck, so the loop body is
+kept free of everything that can be hoisted: the sweep permutation is
+one vectorized lexsort, the sentinel/bookkeeping arrays are bulk-built
+from numpy before the loop, per-cell attributes are plain Python lists
+(several times faster than numpy scalar indexing), and the candidate
+walk uses the complex's memoized per-celltype tables — each cofacet
+offset comes pre-bundled with its direction codes and with the cofacet's
+facet offsets minus the one leading back, so the inner loop performs
+only the unavoidable assignment/signature tests.
 """
 
 from __future__ import annotations
@@ -46,7 +58,11 @@ from repro.morse.vectorfield import (
 
 __all__ = ["compute_discrete_gradient"]
 
-_POPCOUNT3 = (0, 1, 1, 2, 1, 2, 2, 3)
+#: popcount of each possible boundary signature byte (hoisted: built
+#: once at import, not per block)
+_POP_OF_SIG = np.array(
+    [bin(v).count("1") for v in range(256)], dtype=np.uint8
+)
 
 
 def compute_discrete_gradient(complex_: CubicalComplex) -> GradientField:
@@ -57,64 +73,59 @@ def compute_discrete_gradient(complex_: CubicalComplex) -> GradientField:
     deterministic and, for cells on shared block boundaries, depends only
     on data available identically to all blocks sharing that boundary.
     """
-    n = complex_.num_padded
-
-    # Hot loop state as plain Python lists: element access on lists is
-    # several times faster than numpy scalar indexing, and this loop is
-    # the compute-stage bottleneck (profiled; see guides on optimizing
-    # scalar-heavy loops).
-    pairing = [UNASSIGNED] * n
-    assigned = bytearray(n)  # 0/1 flags; sentinels pre-assigned below
-    celltype = complex_.celltype.tolist()
-    sig = complex_.boundary_sig.tolist()
     valid = complex_.valid
-    rank = complex_.order_rank  # numpy int64; touched only for candidates
+    rank_np = complex_.order_rank
+    sig_np = complex_.boundary_sig
 
-    invalid_idx = np.flatnonzero(~valid)
-    for p in invalid_idx.tolist():
-        pairing[p] = SENTINEL
-        assigned[p] = 1
-
-    facet_offsets = complex_.facet_offsets
-    cofacet_offsets = complex_.cofacet_offsets
-
-    # direction code of a flat offset
-    sx, sy, sz = complex_.steps
-    dircode = {sx: 0, -sx: 1, sy: 2, -sy: 3, sz: 4, -sz: 5}
+    # Bulk pre-pass: sentinel marking and the assigned flags come
+    # straight from the valid mask — no per-cell Python loop.
+    pairing = np.where(valid, np.uint8(UNASSIGNED), np.uint8(SENTINEL))
+    assigned = bytearray((~valid).view(np.uint8).tobytes())
 
     # Sweep order: signature classes from most constrained to least
     # (popcount 3, 2, 1, 0), then increasing dimension, then SoS rank.
-    # One vectorized lexsort over all valid cells replaces the former 16
-    # per-(class, dimension) masked argsorts, so a worker process spends
-    # its time in the greedy loop below, not in sorting.  The SoS rank is
-    # a total order (global address tie-break), so the permutation — and
-    # hence the constructed field — is exactly the grouped order.
-    sig_np = complex_.boundary_sig
-    pop_of_sig = np.array(_POPCOUNT3 + (0,) * 248, dtype=np.uint8)
+    # One vectorized lexsort over all valid cells replaces per-class
+    # masked argsorts, so a worker process spends its time in the greedy
+    # loop below, not in sorting.  The SoS rank is a total order (global
+    # address tie-break), so the permutation — and hence the constructed
+    # field — is exactly the grouped order.
     valid_cells = np.flatnonzero(valid)
-    neg_pop = -pop_of_sig[sig_np[valid_cells]].astype(np.int8)
+    neg_pop = -_POP_OF_SIG[sig_np[valid_cells]].astype(np.int8)
     # np.lexsort: last key is primary
     perm = np.lexsort(
-        (rank[valid_cells], complex_.cell_dim[valid_cells], neg_pop)
+        (rank_np[valid_cells], complex_.cell_dim[valid_cells], neg_pop)
     )
     sweep = valid_cells[perm].tolist()
+
+    # Hot loop state as plain Python lists: element access on lists is
+    # several times faster than numpy scalar indexing.
+    pairing = pairing.tolist()
+    celltype = complex_.celltype.tolist()
+    sig = sig_np.tolist()
+    rank = rank_np.tolist()
+
+    # memoized per-celltype candidate tables: for each cofacet offset,
+    # (offset, tail->head code, head->tail code, other facet offsets)
+    candidates = complex_.tables.pair_candidates
 
     for a in sweep:
         if assigned[a]:
             continue
         sa = sig[a]
+        ta = celltype[a]
         best = -1
-        best_rank = None
-        for off in cofacet_offsets[celltype[a]]:
+        best_rank = 0
+        best_fwd = 0
+        best_back = 0
+        for off, fwd, back, others in candidates[ta]:
             b = a + off
             # sentinel cells carry signature 255, so they can
             # never match sa and are skipped without a bounds test
             if assigned[b] or sig[b] != sa:
                 continue
             ok = True
-            for foff in facet_offsets[celltype[b]]:
-                f = b + foff
-                if f != a and not assigned[f]:
+            for foff in others:
+                if not assigned[b + foff]:
                     ok = False
                     break
             if ok:
@@ -122,9 +133,11 @@ def compute_discrete_gradient(complex_: CubicalComplex) -> GradientField:
                 if best < 0 or rb < best_rank:
                     best = b
                     best_rank = rb
+                    best_fwd = fwd
+                    best_back = back
         if best >= 0:
-            pairing[a] = dircode[best - a]
-            pairing[best] = dircode[a - best]
+            pairing[a] = best_fwd
+            pairing[best] = best_back
             assigned[a] = 1
             assigned[best] = 1
         else:

@@ -39,7 +39,7 @@ ARC_RECORD_BYTES = 4 + 4 + 8  # two node ids + geometry offset
 GEOM_ADDRESS_BYTES = 8
 
 
-@dataclass
+@dataclass(slots=True)
 class ArcGeometry:
     """Geometric embedding of an arc.
 
@@ -194,6 +194,134 @@ class MorseSmaleComplex:
         )
         return aid
 
+    def add_nodes(
+        self,
+        addresses: list[int],
+        index: int,
+        values: list[float],
+        boundaries: list[bool],
+    ) -> int:
+        """Bulk-append node records of one Morse index; returns first id.
+
+        Produces records identical to repeated :meth:`add_node` calls
+        (ids ``first .. first + len(addresses) - 1`` in list order),
+        using C-speed list extends instead of per-node calls — this is
+        the node half of 1-skeleton extraction.
+        """
+        if not 0 <= index <= 3:
+            raise ValueError(f"Morse index must be 0..3, got {index}")
+        k = len(addresses)
+        first = len(self.node_address)
+        self.node_address.extend(addresses)
+        self.node_index.extend([index] * k)
+        self.node_value.extend(values)
+        self.node_boundary.extend(boundaries)
+        self.node_ghost.extend([False] * k)
+        self.node_alive.extend([True] * k)
+        self.node_arcs.extend([] for _ in range(k))
+        return first
+
+    def add_leaf_arcs(
+        self,
+        upper: int,
+        lowers: list[int],
+        leaves: list[np.ndarray],
+    ) -> None:
+        """Bulk-append leaf arcs sharing the source node ``upper``.
+
+        ``lowers`` and ``leaves`` give each arc's lower node id and leaf
+        address array, in arc order.  Produces records identical to
+        repeated ``new_leaf_geometry`` + ``add_arc`` calls, using bulk
+        list extends for the per-arc record fields — this is the arc
+        half of 1-skeleton extraction.
+        """
+        k = len(lowers)
+        if k == 0:
+            return
+        node_index = self.node_index
+        li = node_index[upper] - 1
+        for lower in lowers:
+            if node_index[lower] != li:
+                raise ValueError(
+                    "arc endpoints must differ in Morse index by exactly "
+                    f"1 (got {li + 1} and {node_index[lower]})"
+                )
+        aid = len(self.arc_upper)
+        gid = len(self.geoms)
+        self.geoms.extend(
+            ArcGeometry(leaf=leaf, length=leaf.size) for leaf in leaves
+        )
+        self.arc_upper.extend([upper] * k)
+        self.arc_lower.extend(lowers)
+        self.arc_geom.extend(range(gid, gid + k))
+        self.arc_alive.extend([True] * k)
+        node_arcs = self.node_arcs
+        node_arcs[upper].extend(range(aid, aid + k))
+        mult = self.pair_multiplicity
+        mult_get = mult.get
+        for lower in lowers:
+            node_arcs[lower].append(aid)
+            key = (upper, lower) if upper < lower else (lower, upper)
+            mult[key] = mult_get(key, 0) + 1
+            aid += 1
+
+    def add_leaf_arc_groups(
+        self,
+        uppers: list[int],
+        counts: list[int],
+        lowers: list[int],
+        leaves: list[np.ndarray],
+    ) -> None:
+        """Bulk-append the leaf arcs of many source nodes at once.
+
+        ``uppers`` and ``counts`` give each source node and its number
+        of arcs; ``lowers`` and ``leaves`` are the concatenated per-arc
+        lower node ids and leaf address arrays, grouped by source in
+        order.  Produces records identical to one
+        :meth:`add_leaf_arcs` call per source, amortizing the per-arc
+        list appends over a whole batch — this is the arc half of
+        1-skeleton extraction, called once per Morse index.
+        """
+        total = len(lowers)
+        if total == 0:
+            return
+        node_index = self.node_index
+        pos = 0
+        for upper, k in zip(uppers, counts):
+            li = node_index[upper] - 1
+            for lower in lowers[pos:pos + k]:
+                if node_index[lower] != li:
+                    raise ValueError(
+                        "arc endpoints must differ in Morse index by "
+                        f"exactly 1 (got {li + 1} and "
+                        f"{node_index[lower]})"
+                    )
+            pos += k
+        aid = len(self.arc_upper)
+        gid = len(self.geoms)
+        self.geoms.extend(
+            ArcGeometry(leaf=leaf, length=leaf.size) for leaf in leaves
+        )
+        self.arc_lower.extend(lowers)
+        self.arc_geom.extend(range(gid, gid + total))
+        self.arc_alive.extend([True] * total)
+        arc_upper = self.arc_upper
+        node_arcs = self.node_arcs
+        mult = self.pair_multiplicity
+        mult_get = mult.get
+        pos = 0
+        for upper, k in zip(uppers, counts):
+            if k == 0:
+                continue
+            arc_upper.extend([upper] * k)
+            node_arcs[upper].extend(range(aid, aid + k))
+            for lower in lowers[pos:pos + k]:
+                node_arcs[lower].append(aid)
+                key = (upper, lower) if upper < lower else (lower, upper)
+                mult[key] = mult_get(key, 0) + 1
+                aid += 1
+            pos += k
+
     def multiplicity(self, u: int, v: int) -> int:
         """Number of living arcs between two living nodes."""
         key = (u, v) if u < v else (v, u)
@@ -283,6 +411,9 @@ class MorseSmaleComplex:
         Iterative: cancellation chains nest composites arbitrarily deep,
         far beyond the interpreter recursion limit.
         """
+        root = self.geoms[gid]
+        if root.is_leaf:
+            return root.leaf
         parts: list[np.ndarray] = []
         stack: list[tuple[int, bool]] = [(gid, False)]
         while stack:
@@ -353,6 +484,18 @@ class MorseSmaleComplex:
         The cancellation hierarchy (a list of address-based records) is
         preserved for analysis queries.
         """
+        # Fast path: nothing was cancelled and every geometry is already
+        # a concrete leaf — the rebuild below would reproduce the current
+        # records exactly (node_arcs and pair_multiplicity are maintained
+        # in arc-id order by construction), so skip it.
+        if (
+            len(self.geoms) == len(self.arc_geom)
+            and all(self.node_alive)
+            and all(self.arc_alive)
+            and all(g.is_leaf for g in self.geoms)
+        ):
+            return
+
         node_map = {}
         new_addr, new_idx, new_val, new_bnd, new_ghost = [], [], [], [], []
         for i, alive in enumerate(self.node_alive):

@@ -14,6 +14,20 @@ that is the head of a lower-dimensional vector terminate without creating
 an arc.  Because the gradient field is acyclic, the enumeration always
 terminates; distinct paths between the same pair of critical cells yield
 distinct arcs (arc multiplicity matters for cancellation validity).
+
+Implementation notes
+--------------------
+The DFS allocates nothing per frame and touches two lookup tables per
+step, both built *vectorized* once per field: ``cont[alpha]`` resolves
+a candidate cell in one list access (its head-cell partner if the path
+continues, ``CONT_CRITICAL`` if it ends an arc, ``CONT_DEAD`` if it is
+the head of a lower vector), and ``ckey[alpha]`` indexes the memoized
+``trace_facets`` table with the head cell's continuation facets (all
+but the arrival facet).  Frames are parallel int stacks instead of
+per-frame iterators, and unbranched descent (head cells with a single
+continuation — every 1-cell head) runs in an inline chain loop with no
+stack traffic at all.  The enumeration order is exactly the old
+per-frame loop's, so the constructed complex is bit-identical.
 """
 
 from __future__ import annotations
@@ -25,6 +39,59 @@ from repro.morse.vectorfield import CRITICAL, GradientField
 
 __all__ = ["extract_ms_complex", "trace_down"]
 
+#: continuation-table markers (must be negative: real cells are >= 0)
+CONT_CRITICAL = -2
+CONT_DEAD = -1
+
+
+def _trace_state(field: GradientField):
+    """Per-field hot-loop state, built once and cached on the field.
+
+    Returns ``(cont, ckey, ctab, facet_offsets, celltype)`` where for
+    every cell ``alpha`` reachable as a descent candidate:
+
+    - ``cont[alpha]`` is the padded index of the head cell the path
+      continues through, or ``CONT_CRITICAL`` / ``CONT_DEAD``;
+    - ``ckey[alpha]`` indexes ``ctab`` (the flattened memoized
+      ``trace_facets`` table) with the head cell's continuation facet
+      offsets — its facets minus the one leading back to ``alpha``.
+    """
+    state = getattr(field, "_trace_state", None)
+    if state is None:
+        cx = field.complex
+        pairing = field.pairing
+        n = cx.num_padded
+        offs = np.asarray(field.dir_offsets, dtype=np.int64)
+
+        cont = np.full(n, CONT_DEAD, dtype=np.int64)
+        cont[pairing == CRITICAL] = CONT_CRITICAL
+        paired = np.flatnonzero(cx.valid & (pairing < CRITICAL))
+        partner = paired + offs[pairing[paired]]
+        # the path continues only through tails (partner one dim up);
+        # heads of lower vectors stay CONT_DEAD
+        tails = cx.cell_dim[partner] == cx.cell_dim[paired] + 1
+        cont[paired[tails]] = partner[tails]
+
+        ckey = np.zeros(n, dtype=np.int64)
+        ckey[paired[tails]] = (
+            cx.celltype[partner[tails]].astype(np.int64) * 6
+            + pairing[paired[tails]]
+        )
+        ctab = tuple(
+            cands
+            for per_type in cx.tables.trace_facets
+            for cands in per_type
+        )
+        state = (
+            cont.tolist(),
+            ckey.tolist(),
+            ctab,
+            cx.facet_offsets,
+            cx.celltype.tolist(),
+        )
+        field._trace_state = state
+    return state
+
 
 def trace_down(field: GradientField, crit: int) -> list[list[int]]:
     """Enumerate descending V-paths from critical cell ``crit``.
@@ -33,51 +100,119 @@ def trace_down(field: GradientField, crit: int) -> list[list[int]]:
     cell; each path is the list of padded cell indices from ``crit``
     (inclusive) down to the terminating critical cell (inclusive).
     """
-    cx = field.complex
-    pairing = field.pairing
-    dir_offsets = field.dir_offsets
-    cell_dim = cx.cell_dim
-    facet_offsets = cx.facet_offsets
-    celltype = cx.celltype
-
+    flat, lens, _ = _trace_down_flat(field, crit)
     results: list[list[int]] = []
-    path = [crit]
-    # frame: (iterator over candidate tail cells, number of path entries
-    # appended when the frame was pushed)
-    t = int(celltype[crit])
-    frames = [(iter([crit + off for off in facet_offsets[t]]), 1)]
-    while frames:
-        it, _npop = frames[-1]
-        alpha = next(it, None)
-        if alpha is None:
-            _, npop = frames.pop()
-            del path[len(path) - npop:]
-            continue
-        code = pairing[alpha]
-        if code == CRITICAL:
-            results.append(path + [alpha])
-            continue
-        partner = alpha + dir_offsets[code]
-        if cell_dim[partner] != cell_dim[alpha] + 1:
-            # alpha is the head of a lower vector: dead branch
-            continue
-        # descend through the head cell `partner`
-        path.append(alpha)
-        path.append(partner)
-        tp = int(celltype[partner])
-        frames.append(
-            (
-                iter(
-                    [
-                        partner + off
-                        for off in facet_offsets[tp]
-                        if partner + off != alpha
-                    ]
-                ),
-                2,
-            )
-        )
+    pos = 0
+    for length in lens:
+        results.append(flat[pos:pos + length])
+        pos += length
     return results
+
+
+def _trace_down_flat(
+    field: GradientField, crit: int
+) -> tuple[list[int], list[int], list[int]]:
+    """:func:`trace_down` with paths packed into one flat list.
+
+    Returns ``(flat, lens, terminals)``: the concatenated paths, each
+    path's length, and each path's terminating critical cell.
+    """
+    flat, lens, terminals, _ = _trace_down_many(field, [crit])
+    return flat, lens, terminals
+
+
+def _trace_down_many(
+    field: GradientField,
+    sources: list[int],
+    max_paths_per_node: int | None = None,
+) -> tuple[list[int], list[int], list[int], list[int]]:
+    """Trace descending V-paths from a whole batch of critical cells.
+
+    Returns ``(flat, lens, terminals, counts)``: the concatenated paths
+    of every source, each path's length, each path's terminating
+    critical cell, and the number of paths per source — the form
+    :func:`extract_ms_complex` consumes, so one batch of sources needs a
+    single table-state unpack and its path addresses convert with a
+    single fancy index instead of one small call and array per source.
+    Per-source enumeration order is exactly :func:`trace_down`'s.
+    """
+    cont, ckey, ctab, facet_offsets, celltype = _trace_state(field)
+
+    flat: list[int] = []
+    lens: list[int] = []
+    terminals: list[int] = []
+    counts: list[int] = []
+    # parallel DFS stacks: base cell, its candidate facet-offset tuple,
+    # next candidate index, and path entries to pop when exhausted;
+    # drained empty by each source's DFS, so shared across sources
+    bases: list[int] = []
+    cands: list[tuple] = []
+    nexts: list[int] = []
+    npops: list[int] = []
+    for crit in sources:
+        first_path = len(lens)
+        first_flat = len(flat)
+        path = [crit]
+        bases.append(crit)
+        cands.append(facet_offsets[celltype[crit]])
+        nexts.append(0)
+        npops.append(1)
+        while bases:
+            i = nexts[-1]
+            cand = cands[-1]
+            if i == len(cand):
+                bases.pop()
+                cands.pop()
+                nexts.pop()
+                del path[len(path) - npops.pop():]
+                continue
+            nexts[-1] = i + 1
+            alpha = bases[-1] + cand[i]
+            head = cont[alpha]
+            if head < 0:
+                if head == CONT_CRITICAL:
+                    flat.extend(path)
+                    flat.append(alpha)
+                    lens.append(len(path) + 1)
+                    terminals.append(alpha)
+                continue
+            # inline chain descent: single-continuation heads (every
+            # 1-cell) advance without any stack traffic
+            chain = 0
+            while True:
+                path.append(alpha)
+                path.append(head)
+                chain += 2
+                nxt = ctab[ckey[alpha]]
+                if len(nxt) > 1:
+                    bases.append(head)
+                    cands.append(nxt)
+                    nexts.append(0)
+                    npops.append(chain)
+                    break
+                alpha = head + nxt[0]
+                head = cont[alpha]
+                if head >= 0:
+                    continue
+                if head == CONT_CRITICAL:
+                    flat.extend(path)
+                    flat.append(alpha)
+                    lens.append(len(path) + 1)
+                    terminals.append(alpha)
+                del path[len(path) - chain:]
+                break
+        npaths = len(lens) - first_path
+        if (
+            max_paths_per_node is not None
+            and npaths > max_paths_per_node
+        ):
+            keep = first_path + max_paths_per_node
+            del flat[first_flat + sum(lens[first_path:keep]):]
+            del lens[keep:]
+            del terminals[keep:]
+            npaths = max_paths_per_node
+        counts.append(npaths)
+    return flat, lens, terminals, counts
 
 
 def extract_ms_complex(
@@ -109,26 +244,44 @@ def extract_ms_complex(
     )
 
     crit_by_dim = field.critical_cells_by_dim()
-    node_of_cell: dict[int, int] = {}
+    # cell -> node id as a flat array (node ids are assigned densely in
+    # (dim, SoS) order, matching repeated add_node calls)
+    node_of_cell_np = np.full(cx.num_padded, -1, dtype=np.int64)
+    nid = 0
     for d in range(4):
-        for p in crit_by_dim[d].tolist():
-            nid = msc.add_node(
-                address=int(cx.global_address[p]),
-                index=d,
-                value=float(cx.cell_value[p]),
-                boundary=bool(cx.boundary_sig[p] != 0),
-            )
-            node_of_cell[p] = nid
+        cells = crit_by_dim[d]
+        msc.add_nodes(
+            cx.global_address[cells].tolist(),
+            d,
+            cx.cell_value[cells].tolist(),
+            (cx.boundary_sig[cells] != 0).tolist(),
+        )
+        node_of_cell_np[cells] = np.arange(
+            nid, nid + cells.size, dtype=np.int64
+        )
+        nid += cells.size
+    node_of_cell = node_of_cell_np.tolist()
 
     addresses = cx.global_address
     for d in range(1, 4):
-        for p in crit_by_dim[d].tolist():
-            paths = trace_down(field, p)
-            if max_paths_per_node is not None:
-                paths = paths[:max_paths_per_node]
-            upper = node_of_cell[p]
-            for path in paths:
-                lower = node_of_cell[path[-1]]
-                gid = msc.new_leaf_geometry(addresses[path])
-                msc.add_arc(upper, lower, gid)
+        sources = crit_by_dim[d].tolist()
+        if not sources:
+            continue
+        flat, lens, terminals, counts = _trace_down_many(
+            field, sources, max_paths_per_node
+        )
+        # one address gather for every path of every source of this
+        # dimension, sliced into per-arc leaf geometries
+        addrs = addresses[flat]
+        leaves = []
+        pos = 0
+        for length in lens:
+            leaves.append(addrs[pos:pos + length])
+            pos += length
+        msc.add_leaf_arc_groups(
+            [node_of_cell[p] for p in sources],
+            counts,
+            [node_of_cell[t] for t in terminals],
+            leaves,
+        )
     return msc

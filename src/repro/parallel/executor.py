@@ -276,6 +276,17 @@ class FaultTolerantExecutor:
     :class:`CorruptPayloadError` to trigger a retry — the pipeline uses
     it for payload checksums.  ``sleep`` is injectable so tests can
     record backoff without waiting.
+
+    The executor also owns the zero-copy transport's shared-memory
+    segment, when one is used: :meth:`publish_volume` copies the volume
+    into a fresh segment exactly once and returns the picklable handle
+    the block specs carry; the segment outlives worker-pool restarts and
+    degradation to serial (both read paths resolve through the same
+    handle), and :meth:`close` always unlinks it, so no run can leak a
+    segment.  ``transport`` (optional,
+    :class:`repro.core.stats.TransportStats`) accumulates per-dispatch
+    byte counts — retries included — from the specs'
+    ``transport_nbytes``.
     """
 
     def __init__(
@@ -287,6 +298,7 @@ class FaultTolerantExecutor:
         validator: Callable[[Any, Any], None] | None = None,
         stats: Any = None,
         sleep: Callable[[float], None] = time.sleep,
+        transport: Any = None,
     ) -> None:
         if kind not in ("serial", "process"):
             raise ValueError(
@@ -304,10 +316,12 @@ class FaultTolerantExecutor:
 
             stats = FaultToleranceStats()
         self.stats = stats
+        self.transport = transport
         self._sleep = sleep
         self._pool: ProcessPoolExecutor | None = None
         self._degraded = False
         self._suspect_workers = 0  # pooled slots clogged by hung blocks
+        self._shared_volume: Any = None
 
     # -- public protocol -------------------------------------------------
 
@@ -325,16 +339,39 @@ class FaultTolerantExecutor:
                 pending = self._serial_round(fn, specs, results, pending)
         return results
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent).
+    def publish_volume(self, values: Any) -> Any:
+        """Publish a vertex volume for the zero-copy transport.
 
-        Does not wait for workers clogged by timed-out blocks.
+        Copies ``values`` into a fresh shared-memory segment owned by
+        this executor and returns the
+        :class:`~repro.parallel.transport.SharedVolumeHandle` to embed
+        in block specs.  The segment lives until :meth:`close`.
+        """
+        from repro.parallel.transport import SharedVolume
+
+        if self._shared_volume is not None:
+            raise RuntimeError("executor already published a volume")
+        self._shared_volume = SharedVolume(values)
+        if self.transport is not None:
+            self.transport.shared_volume_bytes += self._shared_volume.nbytes
+        return self._shared_volume.handle
+
+    def close(self) -> None:
+        """Shut the worker pool down and unlink the published segment.
+
+        Idempotent; does not wait for workers clogged by timed-out
+        blocks.  The shared-memory segment (if any) is unlinked here and
+        only here, after every dispatch path — pooled, restarted pool,
+        or degraded serial — is done with it.
         """
         if self._pool is not None:
             self._pool.shutdown(
                 wait=self._suspect_workers == 0, cancel_futures=True
             )
             self._pool = None
+        if self._shared_volume is not None:
+            self._shared_volume.unlink()
+            self._shared_volume = None
 
     def __enter__(self) -> "FaultTolerantExecutor":
         return self
@@ -398,6 +435,21 @@ class FaultTolerantExecutor:
         if self.validator is not None:
             self.validator(spec, payload)
 
+    def _charge_dispatch(self, spec: Any, shipped: bool) -> None:
+        """Account one compute dispatch of ``spec``.
+
+        ``shipped`` is True when the spec actually crossed a process
+        boundary (pooled dispatch); in-process attempts count as
+        dispatches but ship nothing.
+        """
+        if self.transport is None:
+            return
+        self.transport.dispatches += 1
+        if shipped:
+            self.transport.dispatch_bytes += getattr(
+                spec, "transport_nbytes", 0
+            )
+
     # -- serial path -------------------------------------------------------
 
     def _serial_round(self, fn, specs, results, pending) -> list:
@@ -406,6 +458,7 @@ class FaultTolerantExecutor:
             spec = specs[idx]
             while True:
                 try:
+                    self._charge_dispatch(spec, shipped=False)
                     payload = _invoke(fn, spec, attempt, self.plan, "serial")
                     self._validate(spec, payload)
                     results[idx] = payload
@@ -449,6 +502,8 @@ class FaultTolerantExecutor:
         pool = self._ensure_pool()
         if pool is None:  # degraded while recycling a clogged pool
             return pending
+        for idx, _attempt in pending:
+            self._charge_dispatch(specs[idx], shipped=True)
         futures = [
             (idx, attempt,
              pool.submit(_invoke, fn, specs[idx], attempt, self.plan, "pool"))

@@ -1,0 +1,161 @@
+"""Zero-copy block transport over POSIX shared memory.
+
+With the ``pickle`` transport every :class:`~repro.core.pipeline.BlockSpec`
+carries its block's ghost-padded vertex subarray by value, so every
+dispatch — and every fault-tolerance retry — re-serializes the samples
+through the pool's pipe: O(blocks × block_bytes) shipped per compute
+stage.  The ``shm`` transport publishes the volume *once* into a
+:mod:`multiprocessing.shared_memory` segment; specs then carry only a
+:class:`SharedVolumeHandle` (segment name + shape + dtype, a few dozen
+bytes) and each worker attaches to the segment and slices its own block
+view.  Retries re-read from the segment instead of re-pickling, and the
+per-dispatch cost drops to O(blocks × spec_header).
+
+Lifecycle is owned by the driver-side
+:class:`~repro.parallel.executor.FaultTolerantExecutor`: it creates the
+segment via :class:`SharedVolume`, hands the handle to the specs, and
+unlinks the segment when it closes — including after pool restarts (the
+segment outlives any worker pool) and after degradation to serial
+execution (in the driver process :func:`SharedVolumeHandle.open`
+resolves to the creator's own mapping, no attach needed).
+
+Worker-side attachments are cached per process, so a worker computing
+many blocks of one volume attaches once.  On Python < 3.13 the stdlib
+registers *attachments* with the resource tracker too (bpo-39959),
+which would spuriously unlink the creator's segment at interpreter
+shutdown; :func:`_attach` unregisters non-creator attachments to keep
+exactly one owner — the creator — responsible for the unlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = [
+    "TRANSPORT_KINDS",
+    "SharedVolume",
+    "SharedVolumeHandle",
+    "attached_segment_names",
+]
+
+#: Transport kinds accepted by config / API / CLI.  ``"auto"`` resolves
+#: to ``"shm"`` exactly when the compute stage runs on a process pool.
+TRANSPORT_KINDS = ("auto", "pickle", "shm")
+
+#: Estimated pickled size of one BlockSpec header (everything except the
+#: vertex samples); used for transport byte accounting only.
+SPEC_HEADER_BYTES = 256
+
+#: per-process cache of open segments: name -> (SharedMemory | None, ndarray)
+#: (the creator registers its own array with ``None`` — no re-attach).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory | None, np.ndarray]] = {}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its ownership."""
+    seg = shared_memory.SharedMemory(name=name)
+    try:
+        # Python < 3.13 registers attachments with the resource tracker
+        # as if this process created the segment; undo that so only the
+        # creator unlinks (see module docstring).
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker internals vary
+        pass
+    return seg
+
+
+def attached_segment_names() -> tuple[str, ...]:
+    """Names of segments this process currently has open (for tests)."""
+    return tuple(sorted(_ATTACHED))
+
+
+@dataclass(frozen=True)
+class SharedVolumeHandle:
+    """Picklable reference to a published volume: ships in every spec.
+
+    A handle is all a worker needs to reconstruct a read-only view of
+    the full vertex array; it costs a few dozen bytes on the wire
+    regardless of volume size.
+    """
+
+    name: str
+    shape: tuple[int, int, int]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the published volume in bytes."""
+        return int(np.prod(self.shape)) * np.dtype(self.dtype).itemsize
+
+    def open(self) -> np.ndarray:
+        """The published vertex array (cached attach, read-only view).
+
+        In the creator process this returns the creator's own mapping —
+        which is how the serial and degraded-to-serial paths read the
+        volume without any shared-memory round trip.
+        """
+        entry = _ATTACHED.get(self.name)
+        if entry is None:
+            seg = _attach(self.name)
+            view = np.ndarray(
+                self.shape, dtype=np.dtype(self.dtype), buffer=seg.buf
+            )
+            view.setflags(write=False)
+            entry = (seg, view)
+            _ATTACHED[self.name] = entry
+        return entry[1]
+
+
+class SharedVolume:
+    """Driver-side owner of one published volume segment.
+
+    Copies ``values`` into a fresh POSIX shared-memory segment exactly
+    once; :attr:`handle` is the picklable reference workers attach to.
+    :meth:`unlink` releases the segment (idempotent); the owning
+    executor calls it from ``close()`` so no run can leak a segment.
+    """
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.ascontiguousarray(values)
+        if values.ndim != 3:
+            raise ValueError("shared volume must be a 3D vertex array")
+        self._seg = shared_memory.SharedMemory(
+            create=True, size=values.nbytes
+        )
+        arr = np.ndarray(
+            values.shape, dtype=values.dtype, buffer=self._seg.buf
+        )
+        arr[...] = values
+        arr.setflags(write=False)
+        self.handle = SharedVolumeHandle(
+            name=self._seg.name,
+            shape=tuple(int(n) for n in values.shape),
+            dtype=values.dtype.str,
+        )
+        # the creator's own mapping doubles as the in-process "attach"
+        _ATTACHED[self._seg.name] = (None, arr)
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+    def unlink(self) -> None:
+        """Close and remove the segment (idempotent)."""
+        if self._seg is None:
+            return
+        _ATTACHED.pop(self._seg.name, None)
+        try:
+            self._seg.close()
+            self._seg.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        self._seg = None
+
+    def __enter__(self) -> "SharedVolume":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.unlink()

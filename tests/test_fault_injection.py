@@ -275,3 +275,97 @@ class TestPoolChaos:
         res = run(field, FaultPlan.hang_on([1, 5]), workers=2)
         assert_identical(res, baseline)
         assert res.stats.faults.counters()["timeouts"] == 2
+
+
+# ---------------------------------------------------------------------------
+# zero-copy (shm) transport under faults: same answers, no leaked segments
+# ---------------------------------------------------------------------------
+
+
+def _shm_segments() -> set:
+    """Names currently present in the host's POSIX shm namespace."""
+    import os
+
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:  # pragma: no cover - non-Linux hosts
+        return set()
+
+
+class TestShmTransportChaos:
+    """Every fault path must neither corrupt shm-transported results
+    nor leak the published segment."""
+
+    def assert_clean(self, before):
+        from repro.parallel.transport import attached_segment_names
+
+        assert attached_segment_names() == ()
+        assert _shm_segments() == before
+
+    @pytest.mark.parametrize("kind", ["crash", "hang", "corrupt"])
+    def test_injected_faults_converge_bit_identical(
+        self, field, baseline, kind
+    ):
+        plans = {
+            "crash": FaultPlan.crash_on([3]),
+            "hang": FaultPlan.hang_on([3]),
+            "corrupt": FaultPlan.corrupt_on([3], seed=17),
+        }
+        before = _shm_segments()
+        res = run(field, plans[kind], transport="shm")
+        assert_identical(res, baseline)
+        assert res.stats.faults.counters()["retries"] == 1
+        assert res.stats.transport.kind == "shm"
+        self.assert_clean(before)
+
+    def test_retries_reread_from_segment(self, field, baseline):
+        """A block that fails on every ghost attempt still re-reads its
+        samples from the published segment, not a re-pickled copy."""
+        before = _shm_segments()
+        res = run(
+            field,
+            FaultPlan.crash_on([5], attempts=(0, 1)),
+            transport="shm",
+        )
+        assert_identical(res, baseline)
+        assert res.stats.faults.counters()["retries"] == 2
+        self.assert_clean(before)
+
+    @pytest.mark.slow
+    def test_pool_restart_keeps_segment_alive_then_unlinks(
+        self, field, baseline
+    ):
+        """os._exit kills the pool; the segment outlives the restart
+        (and the degradation to serial) and is unlinked at close."""
+        before = _shm_segments()
+        res = run(field, FaultPlan.exit_on([2]), workers=2,
+                  transport="shm")
+        assert_identical(res, baseline)
+        f = res.stats.faults
+        assert f.pool_restarts >= 1
+        assert f.degraded
+        self.assert_clean(before)
+
+    @pytest.mark.slow
+    def test_degrade_to_serial_reads_creator_mapping(
+        self, field, baseline
+    ):
+        """After degradation the driver computes in-process; the handle
+        resolves to the creator's own mapping and the answer and the
+        cleanup are unchanged."""
+        plan = FaultPlan.crash_on(
+            [6], attempts=tuple(range(8)), contexts=("pool",)
+        )
+        before = _shm_segments()
+        res = run(field, plan, workers=2, transport="shm")
+        assert_identical(res, baseline)
+        assert res.stats.faults.degraded
+        self.assert_clean(before)
+
+    def test_exhaustion_still_unlinks(self, field):
+        """Even a failed run must not leak the published segment."""
+        before = _shm_segments()
+        plan = FaultPlan.crash_on([3], attempts=(0, 1, 2, 3, 4))
+        with pytest.raises(ComputeStageError):
+            run(field, plan, transport="shm")
+        self.assert_clean(before)
