@@ -37,7 +37,7 @@ serial complex with its cancellation hierarchy,
 available below the facade.
 """
 
-from repro import api
+from repro import api, obs
 from repro.api import compute
 from repro.core.config import MergeSchedule, PipelineConfig
 from repro.core.pipeline import (
@@ -62,5 +62,6 @@ __all__ = [
     "compute",
     "compute_discrete_gradient",
     "compute_morse_smale_complex",
+    "obs",
     "__version__",
 ]

@@ -57,6 +57,8 @@ def compute(
     retry_backoff: float = 0.05,
     degrade_on_failure: bool = True,
     faults: object | None = None,
+    trace: bool = False,
+    metrics: bool = False,
 ) -> PipelineResult:
     """Compute the Morse-Smale complex of a scalar field.
 
@@ -109,6 +111,15 @@ def compute(
     faults:
         Optional :class:`repro.parallel.faults.FaultPlan` injecting
         deterministic failures — the chaos-testing hook.
+    trace:
+        Record a span timeline of the run into ``result.stats.trace``
+        (driver, rank, and worker lanes), exportable as Chrome
+        ``trace_event`` JSON via ``result.stats.trace.write(path)``.
+        Outputs are bit-identical either way (see
+        ``docs/OBSERVABILITY.md``).
+    metrics:
+        Aggregate run metrics (counters / gauges / histograms across
+        all workers) into ``result.stats.metrics``.
 
     Returns
     -------
@@ -153,6 +164,8 @@ def compute(
         retry_backoff=retry_backoff,
         degrade_on_failure=degrade_on_failure,
         faults=faults,
+        trace=trace,
+        metrics=metrics,
     )
     pipeline = ParallelMSComplexPipeline(cfg)
     if isinstance(values, VolumeSpec):

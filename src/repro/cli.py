@@ -16,11 +16,40 @@ Commands::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 import numpy as np
 
 __all__ = ["main", "build_parser"]
+
+#: marker attached to the handler :func:`_configure_logging` installs,
+#: so repeated main() calls (tests) stay idempotent
+_LOG_HANDLER_FLAG = "_repro_cli_handler"
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Wire the ``repro.*`` logger hierarchy to stderr.
+
+    ``-v`` shows INFO (stage progress), ``-vv`` DEBUG; the default
+    surfaces only WARNING and above (retries, pool restarts, degrades).
+    """
+    level = (logging.WARNING, logging.INFO, logging.DEBUG)[
+        min(verbosity, 2)
+    ]
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    for handler in root.handlers:
+        if getattr(handler, _LOG_HANDLER_FLAG, False):
+            handler.setLevel(level)
+            return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setLevel(level)
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    setattr(handler, _LOG_HANDLER_FLAG, True)
+    root.addHandler(handler)
 
 
 def _positive_int(text: str) -> int:
@@ -40,11 +69,18 @@ def _positive_int(text: str) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for the ``repro`` CLI."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Parallel Morse-Smale complex computation "
         "(IPDPS 2012 reproduction)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log progress to stderr (-v: INFO, "
+                             "-vv: DEBUG; default shows warnings only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     c = sub.add_parser("compute", help="compute an MS complex of a volume")
@@ -91,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--no-merge", action="store_true",
                    help="skip the merge stage entirely")
     c.add_argument("--output", default=None, help="output .msc file")
+    c.add_argument("--trace", default=None, metavar="PATH",
+                   help="record a span timeline of the run and write it "
+                        "as Chrome trace_event JSON (open in "
+                        "chrome://tracing or ui.perfetto.dev)")
+    c.add_argument("--metrics", default=None, metavar="PATH",
+                   help="aggregate run metrics (counters/gauges/"
+                        "histograms across all workers) and write them "
+                        "as JSON")
 
     i = sub.add_parser("info", help="summarize an MS complex file")
     i.add_argument("mscfile")
@@ -156,6 +200,8 @@ def _cmd_compute(args) -> int:
             max_retries=args.max_retries,
             retry_backoff=args.retry_backoff,
             degrade_on_failure=not args.no_degrade,
+            trace=args.trace is not None,
+            metrics=args.metrics is not None,
         )
         result = ParallelMSComplexPipeline(cfg).run(volume=spec)
     except (OSError, ValueError, FaultToleranceError) as exc:
@@ -172,6 +218,14 @@ def _cmd_compute(args) -> int:
     if args.output:
         nbytes = result.write(args.output)
         print(f"wrote {nbytes} bytes to {args.output}")
+    if args.trace:
+        nbytes = result.stats.trace.write(args.trace)
+        print(f"wrote trace ({nbytes} bytes) to {args.trace}")
+    if args.metrics:
+        from repro.obs.export import write_metrics_json
+
+        nbytes = write_metrics_json(args.metrics, result.stats.metrics)
+        print(f"wrote metrics ({nbytes} bytes) to {args.metrics}")
     return 0
 
 
@@ -219,6 +273,7 @@ def _cmd_synth(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     handlers = {
         "compute": _cmd_compute,
         "info": _cmd_info,

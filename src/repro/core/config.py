@@ -95,6 +95,16 @@ class PipelineConfig:
         Optional :class:`repro.parallel.faults.FaultPlan` injecting
         deterministic failures into the compute and merge stages — the
         chaos-testing hook; ``None`` in production use.
+    trace:
+        Record a span-based timeline of the run (driver, virtual-rank
+        and pool-worker lanes) into ``result.stats.trace``, exportable
+        as Chrome ``trace_event`` JSON (see :mod:`repro.obs`).  Off by
+        default; pipeline outputs are bit-identical either way.
+    metrics:
+        Aggregate run metrics (counters / gauges / histograms, workers
+        included) into ``result.stats.metrics`` (see
+        :mod:`repro.obs.metrics`).  Off by default; outputs are
+        bit-identical either way.
 
     Deprecated keyword aliases ``persistence`` (for
     ``persistence_threshold``), ``blocks`` (``num_blocks``) and
@@ -121,6 +131,8 @@ class PipelineConfig:
     degrade_on_failure: bool = True
     max_pool_restarts: int = 2
     faults: Any = None
+    trace: bool = False
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         if self.num_blocks < 1:

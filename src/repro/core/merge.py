@@ -15,6 +15,8 @@ The three steps of the merge stage:
 
 from __future__ import annotations
 
+import logging
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -26,7 +28,10 @@ from repro.io.mscfile import deserialize_payload, serialize_payload
 from repro.morse.msc import MorseSmaleComplex
 from repro.morse.simplify import simplify_ms_complex
 from repro.morse.validate import assert_ms_complex_valid
+from repro.obs.trace import get_tracer
 from repro.parallel.executor import FaultToleranceError
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "MergeOutcome",
@@ -154,6 +159,15 @@ def merge_with_retries(
                     f"merge failed after {attempt + 1} attempt(s); "
                     f"last error: {type(exc).__name__}: {exc}"
                 ) from exc
+            logger.warning(
+                "merge attempt %d failed (%s: %s); restoring root "
+                "snapshot and retrying",
+                attempt + 1, type(exc).__name__, exc,
+            )
+            get_tracer().event(
+                "merge.retry", cat="merge",
+                attempt=attempt, error=type(exc).__name__,
+            )
             if on_retry is not None:
                 on_retry(attempt, exc)
             root = unpack_complex(snapshot)

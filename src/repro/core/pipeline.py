@@ -37,9 +37,10 @@ serial and pooled runs are bit-identical.
 
 from __future__ import annotations
 
-import time
+import logging
 import warnings
 import zlib
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -53,6 +54,7 @@ from repro.core.merge import (
 )
 from repro.core.result import PipelineResult
 from repro.core.stats import (
+    COMPUTE_STAGES,
     BlockComputeStats,
     FaultToleranceStats,
     MergeEventStats,
@@ -65,6 +67,13 @@ from repro.io.volume import VolumeSpec, read_block
 from repro.machine.costmodel import ComputeWork, CostModel, MergeWork
 from repro.mesh.cubical import CubicalComplex, structure_tables
 from repro.mesh.grid import Box, StructuredGrid
+from repro.obs.metrics import COUNT_BUCKETS, MetricsRegistry
+from repro.obs.trace import (
+    DRIVER_LANE,
+    RANK_LANE_BASE,
+    TraceRecord,
+    Tracer,
+)
 from repro.morse.gradient import compute_discrete_gradient
 from repro.morse.msc import MorseSmaleComplex
 from repro.morse.simplify import simplify_ms_complex
@@ -88,6 +97,8 @@ __all__ = [
     "compute_morse_smale_complex",
     "validate_block_payload",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 def compute_morse_smale_complex(
@@ -173,6 +184,10 @@ class BlockSpec:
     values: np.ndarray | None = None
     volume: VolumeSpec | None = None
     shm: SharedVolumeHandle | None = None
+    #: ship the worker's span buffer back with the payload (tracing on)
+    trace: bool = False
+    #: ship a worker-local metrics snapshot back with the payload
+    collect_metrics: bool = False
 
     @property
     def transport_nbytes(self) -> int:
@@ -209,6 +224,12 @@ class BlockPayload:
     stage_seconds: dict[str, float] = field(default_factory=dict)
     #: bytes the spec of this attempt shipped to the worker
     transport_nbytes: int = 0
+    #: OS pid of the process that computed this payload
+    worker_pid: int = 0
+    #: the worker's span buffer (``spec.trace`` runs only)
+    trace_events: list = field(default_factory=list)
+    #: the worker's metrics snapshot (``spec.collect_metrics`` runs only)
+    metrics: dict | None = None
 
 
 def compute_block(spec: BlockSpec) -> BlockPayload:
@@ -227,48 +248,82 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
         raise ValueError(
             "spec must carry exactly one of values/volume/shm"
         )
-    if spec.values is not None:
-        # no normalization here: CubicalComplex copies at most once
-        block_values = spec.values
-    elif spec.shm is not None:
-        # zero-copy: attach (cached per process) and slice the block's
-        # view; CubicalComplex makes the single per-block copy
-        block_values = spec.shm.open()[spec.box.slices()]
-    else:
-        block_values = read_block(spec.volume, spec.box)
-    t0 = time.perf_counter()
-    cx = CubicalComplex(
-        block_values,
-        refined_origin=spec.refined_origin,
-        global_refined_dims=spec.global_refined_dims,
-        cut_planes=spec.cut_planes,
+    # Every block runs under a local tracer — the single source of its
+    # stage timings (``stage_seconds`` below are span durations).  The
+    # tracer becomes process-ambient only when the run traces, so
+    # kernel- and io-level spans stay free otherwise.
+    tracer = Tracer(enabled=True)
+    ambient = tracer.installed() if spec.trace else nullcontext()
+    with ambient:
+        with tracer.span(
+            "compute.block", cat="compute", block=spec.block_id
+        ) as block_span:
+            with tracer.span(
+                "io.read", cat="io", block=spec.block_id
+            ) as read_span:
+                if spec.values is not None:
+                    # no normalization: CubicalComplex copies at most once
+                    block_values = spec.values
+                    read_span.annotate(source="pickle")
+                elif spec.shm is not None:
+                    # zero-copy: attach (cached per process) and slice the
+                    # block's view; CubicalComplex makes the one copy
+                    block_values = spec.shm.open()[spec.box.slices()]
+                    read_span.annotate(source="shm")
+                else:
+                    block_values = read_block(spec.volume, spec.box)
+                    read_span.annotate(source="volume")
+            with tracer.span("compute.build", cat="compute"):
+                cx = CubicalComplex(
+                    block_values,
+                    refined_origin=spec.refined_origin,
+                    global_refined_dims=spec.global_refined_dims,
+                    cut_planes=spec.cut_planes,
+                )
+            with tracer.span("compute.gradient", cat="compute"):
+                gradient = compute_discrete_gradient(cx)
+            with tracer.span("compute.trace", cat="compute"):
+                if spec.validate:
+                    assert_gradient_field_valid(gradient)
+                    assert_acyclic(gradient)
+                msc = extract_ms_complex(gradient)
+            with tracer.span("compute.simplify", cat="compute") as simp:
+                geometry_traced = msc.total_geometry_length()
+                crit_counts = gradient.critical_counts()
+                if (
+                    spec.persistence_threshold == 0
+                    and not spec.simplify_at_zero_persistence
+                ):
+                    cancels = []
+                else:
+                    cancels = simplify_ms_complex(
+                        msc, spec.persistence_threshold,
+                        respect_boundary=True,
+                    )
+                msc.compact()
+                if spec.validate:
+                    assert_ms_complex_valid(msc)
+                simp.annotate(cancellations=len(cancels))
+            with tracer.span("compute.pack", cat="compute"):
+                blob = pack_complex(msc)
+            block_span.annotate(cells=cx.num_cells)
+    stage_seconds = {
+        k: tracer.duration(f"compute.{k}") for k in COMPUTE_STAGES
+    }
+    real = sum(
+        stage_seconds[k] for k in ("build", "gradient", "trace", "simplify")
     )
-    t1 = time.perf_counter()
-    gradient = compute_discrete_gradient(cx)
-    t2 = time.perf_counter()
-    if spec.validate:
-        assert_gradient_field_valid(gradient)
-        assert_acyclic(gradient)
-    msc = extract_ms_complex(gradient)
-    t3 = time.perf_counter()
-    geometry_traced = msc.total_geometry_length()
-    crit_counts = gradient.critical_counts()
-    if (
-        spec.persistence_threshold == 0
-        and not spec.simplify_at_zero_persistence
-    ):
-        cancels = []
-    else:
-        cancels = simplify_ms_complex(
-            msc, spec.persistence_threshold, respect_boundary=True
-        )
-    msc.compact()
-    if spec.validate:
-        assert_ms_complex_valid(msc)
-    t4 = time.perf_counter()
-    real = t4 - t0
-    blob = pack_complex(msc)
-    t5 = time.perf_counter()
+    metrics = None
+    if spec.collect_metrics:
+        reg = MetricsRegistry()
+        reg.counter("compute.blocks").inc()
+        reg.counter("compute.cells").inc(cx.num_cells)
+        reg.counter("compute.cancellations").inc(len(cancels))
+        reg.counter("transport.block_bytes_in").inc(spec.transport_nbytes)
+        reg.histogram("compute.block_seconds").observe(real)
+        for k, v in stage_seconds.items():
+            reg.counter(f"compute.{k}_seconds").inc(v)
+        metrics = reg.snapshot()
     return BlockPayload(
         block_id=spec.block_id,
         blob=blob,
@@ -280,14 +335,11 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
         cancellations=len(cancels),
         real_seconds=real,
         checksum=zlib.crc32(blob),
-        stage_seconds={
-            "build": t1 - t0,
-            "gradient": t2 - t1,
-            "trace": t3 - t2,
-            "simplify": t4 - t3,
-            "pack": t5 - t4,
-        },
+        stage_seconds=stage_seconds,
         transport_nbytes=spec.transport_nbytes,
+        worker_pid=tracer.pid,
+        trace_events=tracer.events if spec.trace else [],
+        metrics=metrics,
     )
 
 
@@ -336,6 +388,8 @@ class _RunContext:
     local_inbox: dict[tuple[int, int, int], Any] = field(default_factory=dict)
     #: shared fault-tolerance counters (compute stage + merge retries)
     ft: FaultToleranceStats = field(default_factory=FaultToleranceStats)
+    #: the run's tracer (always enabled: it is the stage stopwatch)
+    tracer: Tracer = field(default_factory=Tracer)
 
 
 class ParallelMSComplexPipeline:
@@ -396,6 +450,8 @@ class ParallelMSComplexPipeline:
                     values=values,
                     volume=volume,
                     shm=shm,
+                    trace=cfg.trace,
+                    collect_metrics=cfg.metrics,
                 )
             )
         return specs
@@ -406,6 +462,21 @@ class ParallelMSComplexPipeline:
         volume: VolumeSpec | None = None,
     ) -> PipelineResult:
         """Run the full pipeline on an in-memory field or a volume file."""
+        # The run tracer is always on: it is the canonical stopwatch
+        # every real wall time in PipelineStats reads from.  It becomes
+        # the process-ambient tracer — lighting up kernel/io/executor
+        # span sites — only when the config asks for a trace.
+        tracer = Tracer(enabled=True)
+        ambient = tracer.installed() if self.config.trace else nullcontext()
+        with ambient:
+            return self._run(tracer, values, volume)
+
+    def _run(
+        self,
+        tracer: Tracer,
+        values: np.ndarray | StructuredGrid | None,
+        volume: VolumeSpec | None,
+    ) -> PipelineResult:
         cfg = self.config
         if (values is None) == (volume is None):
             raise ValueError("pass exactly one of `values` or `volume`")
@@ -422,31 +493,50 @@ class ParallelMSComplexPipeline:
             dims = volume.dims
             vertex_bytes = volume.np_dtype.itemsize
 
-        decomp = decompose(dims, cfg.num_blocks, cfg.splits)
-        schedule = MergeSchedule(decomp, cfg.resolve_radices())
-        num_procs = cfg.resolved_num_procs
-        model = CostModel(cfg.machine, num_procs)
-        groups_by_round = []
-        cuts_by_round = []
-        for r in range(schedule.num_rounds):
-            rows = []
-            for root_coords, member_coords in schedule.groups(r):
-                root_lid = decomp.linear_id(root_coords)
-                members = [
-                    (
-                        decomp.linear_id(mc),
-                        decomp.rank_of_block(decomp.linear_id(mc), num_procs),
-                    )
-                    for mc in member_coords
-                ]
-                rows.append(
-                    (root_lid, decomp.rank_of_block(root_lid, num_procs),
-                     members)
-                )
-            groups_by_round.append(rows)
-            cuts_by_round.append(schedule.cut_planes_after(r + 1))
+        registry = MetricsRegistry() if cfg.metrics else None
+        with tracer.span("pipeline.run", cat="pipeline") as run_span:
+            result = self._run_traced(
+                tracer, registry, cfg, grid, volume, dims, vertex_bytes
+            )
+        stats = result.stats
+        stats.real_seconds_total = run_span.duration
+        if cfg.trace:
+            stats.trace = self._trace_record(tracer, stats)
+        if registry is not None:
+            self._fill_run_metrics(registry, stats)
+            stats.metrics = registry.snapshot()
+        return result
 
-        t0 = time.perf_counter()
+    def _run_traced(
+        self, tracer, registry, cfg, grid, volume, dims, vertex_bytes
+    ) -> PipelineResult:
+        with tracer.span("pipeline.plan", cat="pipeline"):
+            decomp = decompose(dims, cfg.num_blocks, cfg.splits)
+            schedule = MergeSchedule(decomp, cfg.resolve_radices())
+            num_procs = cfg.resolved_num_procs
+            model = CostModel(cfg.machine, num_procs)
+            groups_by_round = []
+            cuts_by_round = []
+            for r in range(schedule.num_rounds):
+                rows = []
+                for root_coords, member_coords in schedule.groups(r):
+                    root_lid = decomp.linear_id(root_coords)
+                    members = [
+                        (
+                            decomp.linear_id(mc),
+                            decomp.rank_of_block(
+                                decomp.linear_id(mc), num_procs
+                            ),
+                        )
+                        for mc in member_coords
+                    ]
+                    rows.append(
+                        (root_lid,
+                         decomp.rank_of_block(root_lid, num_procs),
+                         members)
+                    )
+                groups_by_round.append(rows)
+                cuts_by_round.append(schedule.cut_planes_after(r + 1))
 
         # ---- compute stage, on the configured executor ----------------
         # wrapped in the fault-tolerance layer: per-block timeouts,
@@ -461,23 +551,44 @@ class ParallelMSComplexPipeline:
             validator=validate_block_payload,
             stats=ft,
             transport=transport,
+            tracer=tracer if cfg.trace else None,
         )
         try:
             shm_handle = None
             if transport.kind == "shm" and grid is not None:
-                shm_handle = executor.publish_volume(grid.values)
-            specs = self._block_specs(decomp, grid, volume, shm=shm_handle)
-            # warm the structure-table memo for every block shape before
-            # the pool forks: forked workers inherit the built tables
-            for spec in specs:
-                structure_tables(
-                    tuple(2 * n + 1 for n in spec.box.shape)
+                with tracer.span("shm.publish", cat="transport"):
+                    shm_handle = executor.publish_volume(grid.values)
+            with tracer.span("pipeline.specs", cat="pipeline"):
+                specs = self._block_specs(
+                    decomp, grid, volume, shm=shm_handle
                 )
-            tc0 = time.perf_counter()
-            payload_list = executor.map_blocks(compute_block, specs)
+                # warm the structure-table memo for every block shape
+                # before the pool forks: forked workers inherit the
+                # built tables
+                for spec in specs:
+                    structure_tables(
+                        tuple(2 * n + 1 for n in spec.box.shape)
+                    )
+            with tracer.span(
+                "compute.dispatch", cat="compute", blocks=len(specs),
+                executor=cfg.resolved_executor, workers=cfg.workers,
+            ) as dispatch_span:
+                payload_list = executor.map_blocks(compute_block, specs)
         finally:
             executor.close()
-        compute_wall = time.perf_counter() - tc0
+        logger.info(
+            "compute stage done: %d blocks in %.3fs on %s executor",
+            len(payload_list), dispatch_span.duration,
+            cfg.resolved_executor,
+        )
+        # stitch the workers' span buffers into the driver timeline and
+        # fold their metrics snapshots into the run registry
+        if cfg.trace:
+            for p in payload_list:
+                tracer.absorb(p.trace_events)
+        if registry is not None:
+            for p in payload_list:
+                registry.merge_snapshot(p.metrics)
         payloads = {p.block_id: p for p in payload_list}
 
         ctx = _RunContext(
@@ -490,21 +601,23 @@ class ParallelMSComplexPipeline:
             groups_by_round=groups_by_round,
             cuts_by_round=cuts_by_round,
             ft=ft,
+            tracer=tracer,
         )
 
-        mpi = VirtualMPI(num_procs)
-        rank_returns = mpi.run(_rank_main, ctx)
-        wall = time.perf_counter() - t0
+        with tracer.span(
+            "merge.stage", cat="merge", rounds=schedule.num_rounds
+        ):
+            mpi = VirtualMPI(num_procs)
+            rank_returns = mpi.run(_rank_main, ctx)
 
         stats = PipelineStats(
             num_procs=num_procs,
             num_blocks=cfg.num_blocks,
             radices=[r.radix for r in schedule.rounds],
-            real_seconds_total=wall,
             message_bytes=sum(m.nbytes for m in mpi.message_log),
             workers=cfg.workers,
             executor=cfg.resolved_executor,
-            compute_wall_seconds=compute_wall,
+            compute_wall_seconds=dispatch_span.duration,
             faults=ft,
             transport=transport,
         )
@@ -516,16 +629,77 @@ class ParallelMSComplexPipeline:
             for bid, msc in ret["final_blocks"].items():
                 output_blocks[bid] = msc
         stats.block_stats.sort(key=lambda b: b.block_id)
-        stats.output_bytes = sum(
-            len(serialize_payload(m.to_payload()))
-            for m in output_blocks.values()
-        )
+        with tracer.span(
+            "io.serialize_output", cat="io", blocks=len(output_blocks)
+        ):
+            stats.output_bytes = sum(
+                len(serialize_payload(m.to_payload()))
+                for m in output_blocks.values()
+            )
         return PipelineResult(
             output_blocks=output_blocks,
             decomposition=decomp,
             schedule=schedule,
             stats=stats,
         )
+
+    def _trace_record(
+        self, tracer: Tracer, stats: PipelineStats
+    ) -> TraceRecord:
+        """Label the stitched timeline's processes and lanes."""
+        process_names = {tracer.pid: "driver"}
+        thread_names = {(tracer.pid, DRIVER_LANE): "main"}
+        for r in range(stats.num_procs):
+            thread_names[(tracer.pid, RANK_LANE_BASE + r)] = f"rank {r}"
+        for e in tracer.events:
+            if e.pid not in process_names:
+                process_names[e.pid] = f"worker {e.pid}"
+                thread_names[(e.pid, DRIVER_LANE)] = "worker"
+        return TraceRecord(
+            events=tracer.events,
+            process_names=process_names,
+            thread_names=thread_names,
+        )
+
+    @staticmethod
+    def _fill_run_metrics(
+        registry: MetricsRegistry, stats: PipelineStats
+    ) -> None:
+        """Fold driver-side observations into the run registry.
+
+        Worker-side snapshots (shipped in the payloads) were already
+        merged during the compute stage; this adds what only the driver
+        sees: fault-tolerance counters, transport bytes, merge-round
+        glue sizes, and output bytes.
+        """
+        for name, value in stats.faults.counters().items():
+            registry.counter(f"faults.{name}").inc(value)
+        registry.counter("faults.backoff_seconds").inc(
+            stats.faults.backoff_seconds
+        )
+        registry.counter("transport.dispatches").inc(
+            stats.transport.dispatches
+        )
+        registry.counter("transport.dispatch_bytes").inc(
+            stats.transport.dispatch_bytes
+        )
+        registry.gauge("shm.volume_bytes").set(
+            stats.transport.shared_volume_bytes
+        )
+        registry.gauge("pipeline.workers").set(stats.workers)
+        for ev in stats.merge_events:
+            registry.histogram(
+                "merge.glue_nodes", COUNT_BUCKETS
+            ).observe(ev.nodes_glued)
+            registry.histogram(
+                "merge.glue_arcs", COUNT_BUCKETS
+            ).observe(ev.arcs_glued)
+            registry.histogram("merge.seconds").observe(ev.real_seconds)
+            registry.counter("merge.cancellations").inc(ev.cancellations)
+            registry.counter("merge.received_bytes").inc(
+                ev.received_bytes
+            )
+        registry.counter("io.output_bytes").inc(stats.output_bytes)
 
 
 # ---------------------------------------------------------------------------
@@ -639,7 +813,6 @@ def _rank_main(comm, ctx: _RunContext):
                 incoming_blobs.append(message["blob"])
             wait = max(arrivals) - clock
             clock = max(arrivals)
-            t0 = time.perf_counter()
 
             def _count_merge_retry(attempt, exc, _ft=ctx.ft):
                 _ft.merge_retries += 1
@@ -649,18 +822,29 @@ def _rank_main(comm, ctx: _RunContext):
                 if cfg.faults is not None
                 else None
             )
-            root_msc, outcome, _ = merge_with_retries(
-                complexes[root_bid],
-                incoming_blobs,
-                cuts_after,
-                cfg.persistence_threshold,
-                validate=cfg.validate,
-                max_retries=cfg.max_retries,
-                fault_hook=fault_hook,
-                on_retry=_count_merge_retry,
-            )
+            with ctx.tracer.span(
+                "merge.round", cat="merge",
+                lane=RANK_LANE_BASE + comm.rank,
+                round=round_idx, root=root_bid,
+                members=len(members), received_bytes=recv_bytes,
+            ) as merge_span:
+                root_msc, outcome, _ = merge_with_retries(
+                    complexes[root_bid],
+                    incoming_blobs,
+                    cuts_after,
+                    cfg.persistence_threshold,
+                    validate=cfg.validate,
+                    max_retries=cfg.max_retries,
+                    fault_hook=fault_hook,
+                    on_retry=_count_merge_retry,
+                )
+                merge_span.annotate(
+                    nodes_glued=outcome.glue.nodes_added,
+                    arcs_glued=outcome.glue.arcs_added,
+                    cancellations=outcome.cancellations,
+                )
             complexes[root_bid] = root_msc
-            real = time.perf_counter() - t0
+            real = merge_span.duration
             mwork = MergeWork(
                 glued_elements=(
                     outcome.glue.nodes_added + outcome.glue.arcs_added

@@ -14,6 +14,7 @@ the global maximum clock across the round.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = [
     "BlockComputeStats",
@@ -190,6 +191,12 @@ class PipelineStats:
     faults: FaultToleranceStats = field(default_factory=FaultToleranceStats)
     #: block-transport observability (kind, bytes shipped per dispatch)
     transport: TransportStats = field(default_factory=TransportStats)
+    #: stitched run timeline (:class:`repro.obs.trace.TraceRecord`)
+    #: when the run had ``trace=True``; ``None`` otherwise
+    trace: Any = None
+    #: aggregated metrics snapshot (see :mod:`repro.obs.metrics`) when
+    #: the run had ``metrics=True``; ``None`` otherwise
+    metrics: dict | None = None
 
     # -- virtual stage times (paper-style reporting) ---------------------
 
@@ -281,29 +288,11 @@ class PipelineStats:
         return sum(sum(b.critical_counts) for b in self.block_stats)
 
     def describe(self) -> str:
-        """Multi-line human-readable run report."""
-        s = self.stage_breakdown()
-        lines = [
-            f"procs={self.num_procs} blocks={self.num_blocks} "
-            f"radices={self.radices}",
-            f"  virtual: read={s['read']:.3f}s compute={s['compute']:.3f}s "
-            f"merge={s['merge']:.3f}s write={s['write']:.3f}s "
-            f"total={s['total']:.3f}s",
-            f"  real: {self.real_seconds_total:.3f}s wall; compute stage "
-            f"{self.compute_wall_seconds:.3f}s wall / "
-            f"{self.compute_cpu_seconds:.3f}s cpu "
-            f"({self.executor}, workers={self.workers}, "
-            f"speedup={self.compute_speedup:.2f}x)",
-            f"  output: {self.output_bytes} bytes, "
-            f"messages: {self.message_bytes} bytes",
-        ]
-        stages = self.compute_stage_seconds()
-        if any(stages.values()):
-            lines.append(
-                "  compute stages: "
-                + " ".join(f"{k}={v:.3f}s" for k, v in stages.items())
-            )
-        lines.append("  " + self.transport.describe())
-        if self.faults.any_faults():
-            lines.append("  " + self.faults.describe())
-        return "\n".join(lines)
+        """Multi-line human-readable run report.
+
+        Delegates to :func:`repro.obs.export.format_run_summary`, the
+        single formatter for run summaries.
+        """
+        from repro.obs.export import format_run_summary
+
+        return format_run_summary(self)

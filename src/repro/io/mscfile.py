@@ -19,6 +19,8 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
 __all__ = ["write_msc_file", "read_msc_file", "serialize_payload",
            "deserialize_payload", "MAGIC"]
 
@@ -86,7 +88,9 @@ def write_msc_file(
     nothing — the collective "null write").
     """
     index: list[tuple[int, int, int]] = []
-    with open(path, "wb") as f:
+    with get_tracer().span(
+        "io.write_msc", cat="io", path=str(path), blocks=len(blocks)
+    ) as sp, open(path, "wb") as f:
         for block_id, payload in blocks:
             record = serialize_payload(payload)
             index.append((int(block_id), f.tell(), len(record)))
@@ -97,6 +101,7 @@ def write_msc_file(
             f.write(struct.pack("<qQQ", block_id, off, ln))
         f.write(struct.pack("<Q", footer_offset))
         f.write(MAGIC)
+        sp.annotate(bytes=f.tell())
         return f.tell()
 
 

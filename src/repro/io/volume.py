@@ -20,6 +20,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.mesh.grid import Box
+from repro.obs.trace import get_tracer
 
 __all__ = ["VolumeSpec", "write_volume", "read_volume", "read_block"]
 
@@ -65,14 +66,20 @@ def write_volume(
     if values.ndim != 3:
         raise ValueError("volume must be 3D")
     out = values.astype(SUPPORTED_DTYPES[dtype])
-    # x fastest on disk
-    out.ravel(order="F").tofile(str(path))
+    with get_tracer().span(
+        "io.write_volume", cat="io", path=str(path), bytes=out.nbytes
+    ):
+        # x fastest on disk
+        out.ravel(order="F").tofile(str(path))
     return VolumeSpec(str(path), tuple(values.shape), dtype)
 
 
 def read_volume(spec: VolumeSpec) -> np.ndarray:
     """Read a whole raw volume into a float64 vertex array."""
-    data = np.fromfile(spec.path, dtype=spec.np_dtype)
+    with get_tracer().span(
+        "io.read_volume", cat="io", path=spec.path, bytes=spec.nbytes
+    ):
+        data = np.fromfile(spec.path, dtype=spec.np_dtype)
     expected = int(np.prod(spec.dims))
     if data.size != expected:
         raise ValueError(
@@ -91,13 +98,15 @@ def read_block(spec: VolumeSpec, box: Box) -> np.ndarray:
     for l, h, n in zip(box.lo, box.hi, spec.dims):
         if l < 0 or h > n:
             raise ValueError(f"{box} exceeds volume dims {spec.dims}")
-    mm = np.memmap(spec.path, dtype=spec.np_dtype, mode="r")
-    expected = int(np.prod(spec.dims))
-    if mm.size != expected:
-        raise ValueError(
-            f"{spec.path}: expected {expected} samples, found {mm.size}"
-        )
-    vol = mm.reshape(spec.dims, order="F")
-    block = np.array(vol[box.slices()], dtype=np.float64)
-    del mm
+    with get_tracer().span("io.read_block", cat="io", path=spec.path) as sp:
+        mm = np.memmap(spec.path, dtype=spec.np_dtype, mode="r")
+        expected = int(np.prod(spec.dims))
+        if mm.size != expected:
+            raise ValueError(
+                f"{spec.path}: expected {expected} samples, found {mm.size}"
+            )
+        vol = mm.reshape(spec.dims, order="F")
+        block = np.array(vol[box.slices()], dtype=np.float64)
+        del mm
+        sp.annotate(bytes=block.nbytes)
     return block

@@ -55,6 +55,7 @@ from repro.morse.vectorfield import (
     UNASSIGNED,
     GradientField,
 )
+from repro.obs.trace import get_tracer
 
 __all__ = ["compute_discrete_gradient"]
 
@@ -73,29 +74,35 @@ def compute_discrete_gradient(complex_: CubicalComplex) -> GradientField:
     deterministic and, for cells on shared block boundaries, depends only
     on data available identically to all blocks sharing that boundary.
     """
+    tracer = get_tracer()
     valid = complex_.valid
     rank_np = complex_.order_rank
     sig_np = complex_.boundary_sig
 
-    # Bulk pre-pass: sentinel marking and the assigned flags come
-    # straight from the valid mask — no per-cell Python loop.
-    pairing = np.where(valid, np.uint8(UNASSIGNED), np.uint8(SENTINEL))
-    assigned = bytearray((~valid).view(np.uint8).tobytes())
+    with tracer.span("gradient.prepare", cat="kernel"):
+        # Bulk pre-pass: sentinel marking and the assigned flags come
+        # straight from the valid mask — no per-cell Python loop.
+        pairing = np.where(valid, np.uint8(UNASSIGNED), np.uint8(SENTINEL))
+        assigned = bytearray((~valid).view(np.uint8).tobytes())
 
-    # Sweep order: signature classes from most constrained to least
-    # (popcount 3, 2, 1, 0), then increasing dimension, then SoS rank.
-    # One vectorized lexsort over all valid cells replaces per-class
-    # masked argsorts, so a worker process spends its time in the greedy
-    # loop below, not in sorting.  The SoS rank is a total order (global
-    # address tie-break), so the permutation — and hence the constructed
-    # field — is exactly the grouped order.
-    valid_cells = np.flatnonzero(valid)
-    neg_pop = -_POP_OF_SIG[sig_np[valid_cells]].astype(np.int8)
-    # np.lexsort: last key is primary
-    perm = np.lexsort(
-        (rank_np[valid_cells], complex_.cell_dim[valid_cells], neg_pop)
-    )
-    sweep = valid_cells[perm].tolist()
+        # Sweep order: signature classes from most constrained to least
+        # (popcount 3, 2, 1, 0), then increasing dimension, then SoS
+        # rank.  One vectorized lexsort over all valid cells replaces
+        # per-class masked argsorts, so a worker process spends its time
+        # in the greedy loop below, not in sorting.  The SoS rank is a
+        # total order (global address tie-break), so the permutation —
+        # and hence the constructed field — is exactly the grouped order.
+        valid_cells = np.flatnonzero(valid)
+        neg_pop = -_POP_OF_SIG[sig_np[valid_cells]].astype(np.int8)
+        # np.lexsort: last key is primary
+        perm = np.lexsort(
+            (rank_np[valid_cells], complex_.cell_dim[valid_cells], neg_pop)
+        )
+        sweep = valid_cells[perm].tolist()
+
+    sweep_span = tracer.span("gradient.sweep", cat="kernel",
+                             cells=len(sweep))
+    sweep_span.__enter__()
 
     # Hot loop state as plain Python lists: element access on lists is
     # several times faster than numpy scalar indexing.
@@ -143,6 +150,7 @@ def compute_discrete_gradient(complex_: CubicalComplex) -> GradientField:
         else:
             pairing[a] = CRITICAL
             assigned[a] = 1
+    sweep_span.__exit__(None, None, None)
 
     field = GradientField(complex_, np.asarray(pairing, dtype=np.uint8))
     return field

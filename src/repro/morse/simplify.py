@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 
 from repro.morse.msc import Cancellation, MorseSmaleComplex
+from repro.obs.trace import get_tracer
 
 __all__ = ["simplify_ms_complex", "Cancellation"]
 
@@ -85,6 +86,11 @@ def simplify_ms_complex(
             "max_arc_multiplicity must be >= 2 (1 would change which "
             "pairs are cancellable)"
         )
+
+    span = get_tracer().span(
+        "simplify.cancel", cat="kernel", threshold=threshold
+    )
+    span.__enter__()
 
     heap: list[tuple[float, int, int, int]] = []
     counter = 0
@@ -149,6 +155,8 @@ def simplify_ms_complex(
         )
         msc.hierarchy.append(record)
         performed.append(record)
+    span.annotate(cancellations=len(performed))
+    span.__exit__(None, None, None)
     return performed
 
 

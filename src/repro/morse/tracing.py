@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.morse.msc import MorseSmaleComplex
 from repro.morse.vectorfield import CRITICAL, GradientField
+from repro.obs.trace import get_tracer
 
 __all__ = ["extract_ms_complex", "trace_down"]
 
@@ -243,6 +244,9 @@ def extract_ms_complex(
         cx.global_refined_dims, region_lo, region_hi
     )
 
+    tracer = get_tracer()
+    nodes_span = tracer.span("trace.nodes", cat="kernel")
+    nodes_span.__enter__()
     crit_by_dim = field.critical_cells_by_dim()
     # cell -> node id as a flat array (node ids are assigned densely in
     # (dim, SoS) order, matching repeated add_node calls)
@@ -261,7 +265,11 @@ def extract_ms_complex(
         )
         nid += cells.size
     node_of_cell = node_of_cell_np.tolist()
+    nodes_span.annotate(nodes=nid)
+    nodes_span.__exit__(None, None, None)
 
+    arcs_span = tracer.span("trace.arcs", cat="kernel")
+    arcs_span.__enter__()
     addresses = cx.global_address
     for d in range(1, 4):
         sources = crit_by_dim[d].tolist()
@@ -284,4 +292,6 @@ def extract_ms_complex(
             [node_of_cell[t] for t in terminals],
             leaves,
         )
+    arcs_span.annotate(arcs=msc.num_alive_arcs())
+    arcs_span.__exit__(None, None, None)
     return msc

@@ -1,0 +1,216 @@
+"""Counters, gauges, and fixed-bucket histograms with worker aggregation.
+
+A :class:`MetricsRegistry` is a process-local bag of named metrics.
+Cross-process aggregation works by value, not by shared state: each pool
+worker fills its own registry while computing a block, ships
+``registry.snapshot()`` (a plain JSON-able dict) back inside the block
+payload, and the driver folds every snapshot into the run registry with
+:meth:`MetricsRegistry.merge_snapshot`.  Merging is associative and
+commutative — counters and histograms add, gauges keep their maximum —
+so the aggregate is independent of worker scheduling and retry order.
+
+Fixed buckets (rather than adaptive ones) keep histograms mergeable:
+two histograms with the same name always have the same bucket bounds,
+so their counts add element-wise.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "BYTES_BUCKETS",
+    "COUNT_BUCKETS",
+]
+
+#: default buckets for durations in seconds (1 ms .. 10 s)
+SECONDS_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+#: default buckets for sizes in bytes (64 B .. 256 MiB, x4 steps)
+BYTES_BUCKETS = tuple(64 * 4 ** i for i in range(12))
+#: default buckets for small structural counts (1 .. 65536, x4 steps)
+COUNT_BUCKETS = tuple(4 ** i for i in range(9))
+
+
+class Counter:
+    """Monotonically increasing sum."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, snap: dict) -> None:
+        self.value += snap["value"]
+
+
+class Gauge:
+    """Last-set value; merges across processes by maximum.
+
+    The pipeline uses gauges for high-water marks (published segment
+    bytes, pool width), where the max of per-process observations is
+    the meaningful aggregate.
+    """
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge(self, snap: dict) -> None:
+        self.value = max(self.value, snap["value"])
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus overflow.
+
+    ``counts[i]`` is the number of observations ``<= buckets[i]``
+    (non-cumulative); ``counts[-1]`` holds the overflow above the last
+    bound.  ``sum`` and ``count`` allow mean reconstruction.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str,
+                 buckets: Iterable[float] = SECONDS_BUCKETS) -> None:
+        self.name = name
+        self.buckets = tuple(float(b) for b in buckets)
+        if not self.buckets or list(self.buckets) != sorted(self.buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+    def merge(self, snap: dict) -> None:
+        if tuple(snap["buckets"]) != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched "
+                f"buckets {snap['buckets']} into {list(self.buckets)}"
+            )
+        for i, c in enumerate(snap["counts"]):
+            self.counts[i] += c
+        self.sum += snap["sum"]
+        self.count += snap["count"]
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and snapshot merging."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, kind: type, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{metric.kind}, not {kind.kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets: Iterable[float] = SECONDS_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets=buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str):
+        return self._metrics[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    # -- aggregation -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-able value dump, the unit of cross-process shipping."""
+        return {name: m.snapshot() for name, m in self._metrics.items()}
+
+    def merge_snapshot(self, snap: dict | None) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Metrics unknown to this registry are created with the
+        snapshot's kind and buckets, so the driver needs no advance
+        schema of what workers measured.
+        """
+        if not snap:
+            return
+        for name, entry in snap.items():
+            kind = _KINDS[entry["kind"]]
+            if kind is Histogram:
+                metric = self._get(name, kind, buckets=entry["buckets"])
+            else:
+                metric = self._get(name, kind)
+            metric.merge(entry)
+
+    def describe(self) -> str:
+        """Readable one-metric-per-line summary (sorted by name)."""
+        lines = []
+        for name in self.names():
+            m = self._metrics[name]
+            if isinstance(m, Histogram):
+                lines.append(
+                    f"{name}: count={m.count} sum={m.sum:.6g} "
+                    f"mean={m.mean:.6g}"
+                )
+            else:
+                lines.append(f"{name}: {m.value:.6g}")
+        return "\n".join(lines)

@@ -1,0 +1,268 @@
+"""Span-based distributed tracing.
+
+A :class:`Tracer` records two kinds of :class:`TraceEvent`:
+
+- *spans* — named intervals opened with the ``with tracer.span(...)``
+  context manager; duration is measured on exit, so spans recorded by
+  single-threaded code are always properly nested within their lane;
+- *marks* — instant events recorded with :meth:`Tracer.event`.
+
+Every event carries a ``pid`` (the recording OS process) and a ``tid``
+*lane*.  Lanes separate logically concurrent actors that share one
+process: the driver records on lane 0, each virtual MPI rank on lane
+``RANK_LANE_BASE + rank``, and pool workers on lane 0 of their own pid.
+The combination renders as one timeline with per-process / per-rank
+rows in ``chrome://tracing`` or Perfetto (see :mod:`repro.obs.export`).
+
+Distribution model: tracing never requires coordination while events
+are recorded.  Each pool worker builds its own buffer (a fresh
+:class:`Tracer` per block inside
+:func:`repro.core.pipeline.compute_block`); the payload ships the
+buffer back with the block result, and the driver calls
+:meth:`Tracer.absorb` to stitch all buffers into one timeline.  The
+timebase is :func:`time.perf_counter`, which on Linux is
+``CLOCK_MONOTONIC`` and therefore directly comparable across the
+processes of one run; exporters normalise to the earliest event.
+
+Zero cost when disabled: ``span()`` on a disabled tracer returns a
+shared no-op context manager and ``event()`` returns immediately —
+no allocation, no clock read.  Library code that wants ambient tracing
+uses :func:`get_tracer`, which resolves to the disabled
+:data:`NULL_TRACER` unless a run has installed one (see
+:meth:`Tracer.installed`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "DRIVER_LANE",
+    "NULL_TRACER",
+    "RANK_LANE_BASE",
+    "TraceEvent",
+    "TraceRecord",
+    "Tracer",
+    "get_tracer",
+]
+
+#: driver-process main lane (tid) of the stitched timeline
+DRIVER_LANE = 0
+#: virtual rank ``r`` records on lane ``RANK_LANE_BASE + r``
+RANK_LANE_BASE = 1
+
+#: ``dur`` value marking an instant event (marks have no duration)
+INSTANT = -1.0
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """One recorded span or mark (picklable, ships in block payloads)."""
+
+    name: str
+    cat: str
+    ts: float  #: start, seconds on the perf_counter timebase
+    dur: float  #: span duration in seconds; :data:`INSTANT` for marks
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+
+    @property
+    def is_span(self) -> bool:
+        return self.dur >= 0.0
+
+    @property
+    def end(self) -> float:
+        return self.ts + max(self.dur, 0.0)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled tracers."""
+
+    __slots__ = ()
+    duration = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **args: object) -> None:
+        """Discard post-hoc annotations."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Live span: measures its own interval, appends itself on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "tid", "args", "_start",
+                 "duration")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str,
+                 tid: int, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.args = args
+        self._start = 0.0
+        self.duration = 0.0
+
+    def annotate(self, **args: object) -> None:
+        """Attach result attributes discovered while the span ran."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        end = time.perf_counter()
+        self.duration = end - self._start
+        t = self._tracer
+        t._events.append(
+            TraceEvent(self.name, self.cat, self._start, self.duration,
+                       t.pid, self.tid, self.args)
+        )
+        return False
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records for one process (or worker).
+
+    ``lane`` is the default tid of recorded events; pass ``lane=`` per
+    span/event to record onto another lane (the virtual-rank pattern).
+    """
+
+    def __init__(self, enabled: bool = True, lane: int = DRIVER_LANE) -> None:
+        self.enabled = enabled
+        self.pid = os.getpid()
+        self.lane = lane
+        self._events: list[TraceEvent] = []
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name: str, cat: str = "pipeline",
+             lane: int | None = None, **args: object):
+        """Context manager timing a named interval; no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat,
+                     self.lane if lane is None else lane, args)
+
+    def event(self, name: str, cat: str = "pipeline",
+              lane: int | None = None, **args: object) -> None:
+        """Record an instant mark; no-op when disabled."""
+        if not self.enabled:
+            return
+        self._events.append(
+            TraceEvent(name, cat, time.perf_counter(), INSTANT, self.pid,
+                       self.lane if lane is None else lane, dict(args))
+        )
+
+    # -- reading / stitching ----------------------------------------------
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The recorded events, in completion order."""
+        return self._events
+
+    def absorb(self, events: list[TraceEvent]) -> None:
+        """Stitch another buffer (e.g. a worker's) into this timeline."""
+        self._events.extend(events)
+
+    def duration(self, name: str) -> float:
+        """Total seconds spent in spans called ``name``.
+
+        The canonical stage-timing read: every real wall time
+        :class:`repro.core.stats.PipelineStats` reports is a span
+        duration, never a parallel stopwatch.
+        """
+        return sum(e.dur for e in self._events
+                   if e.name == name and e.dur > 0.0)
+
+    def spans(self, name: str | None = None) -> list[TraceEvent]:
+        """Recorded spans, optionally filtered by name."""
+        return [e for e in self._events
+                if e.is_span and (name is None or e.name == name)]
+
+    # -- ambient installation ---------------------------------------------
+
+    def installed(self) -> "_Installed":
+        """Install this tracer as the process-ambient tracer.
+
+        While the returned context manager is active,
+        :func:`get_tracer` resolves to this tracer, so kernel- and
+        io-level spans land in this buffer.  Restores the previous
+        ambient tracer on exit (reentrant-safe).
+        """
+        return _Installed(self)
+
+
+class _Installed:
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        global _AMBIENT
+        self._previous = _AMBIENT
+        _AMBIENT = self._tracer
+        return self._tracer
+
+    def __exit__(self, *exc: object) -> bool:
+        global _AMBIENT
+        _AMBIENT = self._previous
+        return False
+
+
+#: the always-disabled tracer ambient code sees outside any traced run
+NULL_TRACER = Tracer(enabled=False)
+
+_AMBIENT: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-ambient tracer (:data:`NULL_TRACER` unless installed).
+
+    Library code (kernels, io) calls this at span sites; the call costs
+    one global read, and on the null tracer ``span()`` costs one
+    attribute check — unmeasurable against any real kernel work.
+    """
+    return _AMBIENT
+
+
+@dataclass
+class TraceRecord:
+    """A finished run's stitched timeline, ready for export.
+
+    ``process_names`` maps pid -> label ("driver", "worker ..."), and
+    ``thread_names`` maps (pid, tid) -> lane label ("main", "rank 3",
+    ...); exporters emit them as Chrome metadata events so Perfetto
+    shows readable rows.
+    """
+
+    events: list[TraceEvent] = field(default_factory=list)
+    process_names: dict[int, str] = field(default_factory=dict)
+    thread_names: dict[tuple[int, int], str] = field(default_factory=dict)
+
+    def to_chrome(self) -> dict:
+        """The Chrome ``trace_event`` JSON object for this record."""
+        from repro.obs.export import to_chrome_trace
+
+        return to_chrome_trace(self.events, self.process_names,
+                               self.thread_names)
+
+    def write(self, path) -> int:
+        """Write the Chrome-trace JSON file; returns bytes written."""
+        from repro.obs.export import write_chrome_trace
+
+        return write_chrome_trace(path, self.events, self.process_names,
+                                  self.thread_names)

@@ -28,6 +28,7 @@ end-to-end, including under injected faults (see
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from concurrent.futures import (
@@ -37,6 +38,10 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+from repro.obs.trace import NULL_TRACER, Tracer
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "BlockExecutor",
@@ -287,6 +292,12 @@ class FaultTolerantExecutor:
     :class:`repro.core.stats.TransportStats`) accumulates per-dispatch
     byte counts — retries included — from the specs'
     ``transport_nbytes``.
+
+    Observability: retries, pool restarts, and degradations log at
+    WARNING on the ``repro.parallel.executor`` logger, and — when a
+    ``tracer`` (:class:`repro.obs.trace.Tracer`) is passed — are marked
+    as instant events on the run timeline, alongside the shared-memory
+    segment's publish/unlink lifecycle.
     """
 
     def __init__(
@@ -299,6 +310,7 @@ class FaultTolerantExecutor:
         stats: Any = None,
         sleep: Callable[[float], None] = time.sleep,
         transport: Any = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if kind not in ("serial", "process"):
             raise ValueError(
@@ -317,6 +329,7 @@ class FaultTolerantExecutor:
             stats = FaultToleranceStats()
         self.stats = stats
         self.transport = transport
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._sleep = sleep
         self._pool: ProcessPoolExecutor | None = None
         self._degraded = False
@@ -354,6 +367,11 @@ class FaultTolerantExecutor:
         self._shared_volume = SharedVolume(values)
         if self.transport is not None:
             self.transport.shared_volume_bytes += self._shared_volume.nbytes
+        self.tracer.event(
+            "shm.publish", cat="transport",
+            segment=self._shared_volume.handle.name,
+            bytes=self._shared_volume.nbytes,
+        )
         return self._shared_volume.handle
 
     def close(self) -> None:
@@ -370,6 +388,10 @@ class FaultTolerantExecutor:
             )
             self._pool = None
         if self._shared_volume is not None:
+            self.tracer.event(
+                "shm.unlink", cat="transport",
+                segment=self._shared_volume.handle.name,
+            )
             self._shared_volume.unlink()
             self._shared_volume = None
 
@@ -401,6 +423,10 @@ class FaultTolerantExecutor:
             self._degraded = True
             self.stats.degraded = True
             self.stats.degradation_events.append(reason)
+            logger.warning("%s", reason)
+            self.tracer.event(
+                "executor.degrade", cat="executor", reason=reason
+            )
 
     def _next_attempt(
         self, spec: Any, attempt: int, exc: BaseException, where: str
@@ -425,6 +451,17 @@ class FaultTolerantExecutor:
             self._degrade(f"degraded to serial executor: {reason}", exc)
             return 0
         self.stats.retries += 1
+        logger.warning(
+            "block %s: attempt %d failed on the %s backend "
+            "(%s: %s); retrying",
+            self._block_id(spec), attempt + 1, where,
+            type(exc).__name__, exc,
+        )
+        self.tracer.event(
+            "executor.retry", cat="executor",
+            block=self._block_id(spec), attempt=nxt,
+            backend=where, error=type(exc).__name__,
+        )
         pause = self.policy.backoff_seconds(nxt)
         if pause > 0:
             self.stats.backoff_seconds += pause
@@ -489,6 +526,14 @@ class FaultTolerantExecutor:
             self._pool = None
         self._suspect_workers = 0
         self.stats.pool_restarts += 1
+        logger.warning(
+            "worker pool restarted (%d/%d allowed): %s",
+            self.stats.pool_restarts, self.policy.max_pool_restarts, why,
+        )
+        self.tracer.event(
+            "executor.pool_restart", cat="executor",
+            count=self.stats.pool_restarts, reason=why,
+        )
         if self.stats.pool_restarts > self.policy.max_pool_restarts:
             self._degrade(
                 f"degraded to serial executor: worker pool restarted "

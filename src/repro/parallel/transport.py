@@ -34,6 +34,8 @@ from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
 
+from repro.obs.trace import get_tracer
+
 __all__ = [
     "TRANSPORT_KINDS",
     "SharedVolume",
@@ -99,6 +101,10 @@ class SharedVolumeHandle:
         """
         entry = _ATTACHED.get(self.name)
         if entry is None:
+            get_tracer().event(
+                "shm.attach", cat="transport",
+                segment=self.name, bytes=self.nbytes,
+            )
             seg = _attach(self.name)
             view = np.ndarray(
                 self.shape, dtype=np.dtype(self.dtype), buffer=seg.buf
@@ -125,6 +131,10 @@ class SharedVolume:
         self._seg = shared_memory.SharedMemory(
             create=True, size=values.nbytes
         )
+        get_tracer().event(
+            "shm.create", cat="transport",
+            segment=self._seg.name, bytes=values.nbytes,
+        )
         arr = np.ndarray(
             values.shape, dtype=values.dtype, buffer=self._seg.buf
         )
@@ -146,6 +156,9 @@ class SharedVolume:
         """Close and remove the segment (idempotent)."""
         if self._seg is None:
             return
+        get_tracer().event(
+            "shm.destroy", cat="transport", segment=self._seg.name
+        )
         _ATTACHED.pop(self._seg.name, None)
         try:
             self._seg.close()

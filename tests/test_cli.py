@@ -174,6 +174,133 @@ class TestWorkerCountValidation:
         assert args.workers == 1
 
 
+class TestVersionFlag:
+    def test_version_exits_zero_and_prints(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        import repro
+
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    @pytest.mark.slow
+    def test_module_entry_point(self):
+        """``python -m repro.cli --version`` works as a real process."""
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "--version"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 0
+        assert proc.stdout.startswith("repro ")
+
+
+class TestVerboseFlag:
+    def test_verbose_parses_and_counts(self):
+        args = build_parser().parse_args(["-vv", "info", "x.msc"])
+        assert args.verbose == 2
+        args = build_parser().parse_args(["info", "x.msc"])
+        assert args.verbose == 0
+
+    def test_verbose_enables_info_logging(self, volume, caplog):
+        import logging
+
+        rc = main([
+            "-v", "compute", volume.path,
+            "--dims", *map(str, volume.dims), "--blocks", "2",
+        ])
+        assert rc == 0
+        assert logging.getLogger("repro").level == logging.INFO
+        assert any("compute stage done" in r.message
+                   for r in caplog.records)
+
+    def test_default_keeps_warnings_only(self, volume, caplog):
+        import logging
+
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims), "--blocks", "2",
+        ])
+        assert rc == 0
+        assert logging.getLogger("repro").level == logging.WARNING
+        assert not any("compute stage done" in r.message
+                       for r in caplog.records)
+
+    def test_repeat_main_adds_one_handler(self, volume, capsys):
+        import logging
+
+        for _ in range(2):
+            main(["-v", "compute", volume.path,
+                  "--dims", *map(str, volume.dims), "--blocks", "2"])
+        handlers = [
+            h for h in logging.getLogger("repro").handlers
+            if getattr(h, "_repro_cli_handler", False)
+        ]
+        assert len(handlers) == 1
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_files_written(self, volume, tmp_path,
+                                             capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--blocks", "4", "--persistence", "0.05",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "trace:" in stdout and "metrics:" in stdout
+
+        import json
+
+        doc = json.loads(trace.read_text())
+        assert {e["name"] for e in doc["traceEvents"]} >= {
+            "pipeline.run", "compute.block", "merge.round"
+        }
+        snap = json.loads(metrics.read_text())
+        assert snap["compute.blocks"]["value"] == 4
+
+    @pytest.mark.slow
+    def test_pooled_shm_trace_covers_every_block(self, volume, tmp_path,
+                                                 capsys):
+        """Worker lanes of a pooled --trace file cover all blocks."""
+        trace = tmp_path / "pooled.json"
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--blocks", "8", "--workers", "2", "--transport", "shm",
+            "--trace", str(trace),
+        ])
+        assert rc == 0
+        import json
+
+        events = json.loads(trace.read_text())["traceEvents"]
+        block_spans = [e for e in events if e["name"] == "compute.block"]
+        assert {e["args"]["block"] for e in block_spans} == set(range(8))
+        worker_pids = {
+            e["pid"] for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+            and e["args"]["name"].startswith("worker")
+        }
+        assert {e["pid"] for e in block_spans} <= worker_pids
+        assert worker_pids  # blocks really ran off-driver
+
+    def test_no_flags_leaves_stats_dark(self, volume, capsys):
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims), "--blocks", "2",
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "trace:" not in stdout
+        assert "metrics:" not in stdout
+
+
 class TestFaultToleranceFlags:
     def test_defaults(self):
         args = build_parser().parse_args(

@@ -76,6 +76,61 @@ class TestStageTimes:
         assert s.total_critical_points() == 12
 
 
+class TestDescribe:
+    """Snapshot of the run-summary text (obs.export.format_run_summary)."""
+
+    def _stats(self):
+        s = PipelineStats(num_procs=2, num_blocks=2, radices=[2],
+                          workers=2, executor="process")
+        s.timelines = [
+            _timeline(0, read=1.0, compute=5.0, rounds=[8.0], write=0.5),
+            _timeline(1, read=2.0, compute=3.0, rounds=[6.0], write=0.5),
+        ]
+        s.block_stats = [
+            BlockComputeStats(
+                block_id=b, rank=b, cells=100,
+                critical_counts=(1, 2, 2, 1),
+                nodes_after_simplify=6, arcs_after_simplify=9,
+                geometry_cells_traced=50, cancellations=0,
+                real_seconds=0.5, virtual_seconds=0.2,
+                stage_seconds={"build": 0.1, "gradient": 0.2,
+                               "trace": 0.1, "simplify": 0.05,
+                               "pack": 0.05},
+            )
+            for b in range(2)
+        ]
+        s.output_bytes = 1234
+        s.message_bytes = 567
+        s.real_seconds_total = 1.25
+        s.compute_wall_seconds = 0.5
+        return s
+
+    def test_snapshot(self):
+        assert self._stats().describe() == (
+            "procs=2 blocks=2 radices=[2]\n"
+            "  virtual: read=2.000s compute=5.000s merge=2.000s "
+            "write=0.500s total=8.500s\n"
+            "  real: 1.250s wall; compute stage 0.500s wall / "
+            "1.000s cpu (process, workers=2, speedup=2.00x)\n"
+            "  output: 1234 bytes, messages: 567 bytes\n"
+            "  compute stages: build=0.200s gradient=0.400s "
+            "trace=0.200s simplify=0.100s pack=0.100s\n"
+            "  transport: pickle, 0 dispatches, 0 bytes shipped"
+        )
+
+    def test_trace_and_metrics_lines_appear_when_recorded(self):
+        from repro.obs.trace import TraceRecord
+
+        s = self._stats()
+        base = s.describe()
+        assert "trace:" not in base and "metrics:" not in base
+        s.trace = TraceRecord(process_names={1: "driver"})
+        s.metrics = {"compute.blocks": {"kind": "counter", "value": 2.0}}
+        text = s.describe()
+        assert "  trace: 0 events across 1 process(es)" in text
+        assert "  metrics: 1 series recorded" in text
+
+
 class TestResultCombinedCounts:
     def test_shared_boundary_nodes_counted_once(self):
         a = MorseSmaleComplex((9, 9, 9))

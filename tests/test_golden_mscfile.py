@@ -18,6 +18,7 @@ import struct
 from pathlib import Path
 
 import numpy as np
+import pytest
 
 import repro
 from repro.io.mscfile import MAGIC, read_msc_file, write_msc_file
@@ -36,6 +37,29 @@ def golden_result():
 def test_pipeline_output_matches_golden_bytes(tmp_path):
     out = tmp_path / "regen.msc"
     golden_result().write(str(out))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_golden_bytes_with_observability_enabled(tmp_path):
+    """Tracing and metrics must never perturb the output bytes."""
+    field = np.random.default_rng(42).random((9, 9, 9))
+    result = repro.compute(field, persistence=0.1, ranks=8,
+                           retry_backoff=0.0, trace=True, metrics=True)
+    out = tmp_path / "traced.msc"
+    result.write(str(out))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+    assert result.stats.trace is not None
+    assert result.stats.metrics is not None
+
+
+@pytest.mark.slow
+def test_golden_bytes_with_observability_enabled_pooled(tmp_path):
+    field = np.random.default_rng(42).random((9, 9, 9))
+    result = repro.compute(field, persistence=0.1, ranks=8, workers=2,
+                           transport="shm", retry_backoff=0.0,
+                           trace=True, metrics=True)
+    out = tmp_path / "traced_pooled.msc"
+    result.write(str(out))
     assert out.read_bytes() == GOLDEN.read_bytes()
 
 
