@@ -50,6 +50,7 @@ def compute(
     workers: int = 1,
     ranks: int = 1,
     transport: str = "auto",
+    merge_executor: str = "auto",
     merge_radix: int | Sequence[int] | str = 2,
     validate: bool = False,
     block_timeout: float | None = None,
@@ -93,6 +94,13 @@ def compute(
         block (zero-copy), ``"auto"`` (default) picks ``"shm"``
         exactly when the compute stage runs on a process pool.
         Results are bit-identical on either transport.
+    merge_executor:
+        Merge-stage backend: ``"serial"`` performs each group-root merge
+        inside its virtual rank; ``"pool"`` precomputes each round's
+        independent merges on the worker pool and the ranks adopt the
+        results; ``"auto"`` (default) pools exactly when the compute
+        stage runs on a process pool.  Deterministic merging makes the
+        two backends bit-identical, virtual clock included.
     validate:
         Run structural invariant checks after every stage (slow).
     block_timeout:
@@ -158,6 +166,7 @@ def compute(
         # ranks == workers == 1 is the serial path: single block, no
         # pool, no merge rounds; anything else runs the full pipeline
         executor="serial" if workers == 1 else "process",
+        merge_executor=merge_executor,
         transport=transport,
         block_timeout=block_timeout,
         max_retries=max_retries,

@@ -106,6 +106,13 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=("auto", "serial", "process"),
                    help="compute-stage backend (default: auto — a "
                         "process pool exactly when --workers > 1)")
+    c.add_argument("--merge-executor", default="auto",
+                   choices=("auto", "serial", "pool"),
+                   help="merge-stage backend: serial merges inside the "
+                        "virtual ranks, pool fans each round's merges "
+                        "over the worker pool (default: auto — pool "
+                        "exactly when the compute stage does; results "
+                        "are bit-identical either way)")
     c.add_argument("--persistence", type=float, default=0.0,
                    help="simplification threshold")
     c.add_argument("--block-timeout", type=float, default=None,
@@ -195,6 +202,7 @@ def _cmd_compute(args) -> int:
             merge_radices=radices,
             workers=args.workers,
             executor=args.executor,
+            merge_executor=args.merge_executor,
             transport=args.transport,
             block_timeout=args.block_timeout,
             max_retries=args.max_retries,

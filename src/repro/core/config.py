@@ -19,7 +19,12 @@ from repro.parallel.executor import EXECUTOR_KINDS, RetryPolicy
 from repro.parallel.radixk import MergeSchedule, full_merge_radices
 from repro.parallel.transport import TRANSPORT_KINDS
 
-__all__ = ["PipelineConfig", "MergeSchedule"]
+__all__ = ["MERGE_EXECUTOR_KINDS", "PipelineConfig", "MergeSchedule"]
+
+#: merge-stage backend choices: "serial" runs root merges inside the
+#: virtual ranks, "pool" fans each round's independent merges over the
+#: worker pool, "auto" pools exactly when the compute stage does
+MERGE_EXECUTOR_KINDS = ("auto", "serial", "pool")
 
 
 @dataclass
@@ -66,6 +71,14 @@ class PipelineConfig:
     executor:
         Compute-stage backend: ``"auto"`` (worker pool exactly when
         ``workers > 1``), ``"serial"``, or ``"process"``.
+    merge_executor:
+        Merge-stage backend.  ``"serial"`` performs each group-root
+        merge inside its virtual rank; ``"pool"`` precomputes each
+        round's independent merges on the worker pool (the driver
+        pre-pass pattern of the compute stage) and the ranks adopt the
+        results; ``"auto"`` (default) pools exactly when the compute
+        stage resolves to a process pool.  Deterministic merging makes
+        the two backends bit-identical, virtual clock included.
     transport:
         How block vertex data reaches compute workers: ``"pickle"``
         ships each block's subarray by value inside its spec;
@@ -124,6 +137,7 @@ class PipelineConfig:
     simplify_at_zero_persistence: bool = True
     workers: int = 1
     executor: str = "auto"
+    merge_executor: str = "auto"
     transport: str = "auto"
     block_timeout: float | None = None
     max_retries: int = 2
@@ -152,6 +166,11 @@ class PipelineConfig:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_KINDS}, "
                 f"got {self.executor!r}"
+            )
+        if self.merge_executor not in MERGE_EXECUTOR_KINDS:
+            raise ValueError(
+                f"merge_executor must be one of {MERGE_EXECUTOR_KINDS}, "
+                f"got {self.merge_executor!r}"
             )
         if self.transport not in TRANSPORT_KINDS:
             raise ValueError(
@@ -182,6 +201,20 @@ class PipelineConfig:
         if self.executor == "auto":
             return "process" if self.workers > 1 else "serial"
         return self.executor
+
+    @property
+    def resolved_merge_executor(self) -> str:
+        """Concrete merge-stage backend after resolving ``"auto"``.
+
+        Pooling the merges pays off exactly when a worker pool exists;
+        a serial compute stage keeps the in-rank merge path (which
+        avoids any extra pack/unpack of the root between rounds).
+        """
+        if self.merge_executor == "auto":
+            return (
+                "pool" if self.resolved_executor == "process" else "serial"
+            )
+        return self.merge_executor
 
     @property
     def resolved_transport(self) -> str:

@@ -20,15 +20,24 @@ whose V-path has entered a shared face can never leave it (the
 boundary-restricted pairing keeps face cells paired within the face), so
 an arc between two shared nodes lies entirely in the shared boundary and
 is bit-identical in both complexes — skipping it is exact.
+
+The address match runs as one sorted/searchsorted join of the member's
+living addresses against an :class:`AddressIndex` over the root, and
+surviving nodes/arcs are appended through the bulk ``add_nodes`` /
+``add_leaf_arcs_flat`` record APIs — the records produced are
+byte-identical to the historical per-node/per-arc loop (same id
+assignment order), only the Python-level iteration is gone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.morse.msc import MorseSmaleComplex
+import numpy as np
 
-__all__ = ["GlueStats", "glue_into"]
+from repro.morse.msc import ArcGeometry, MorseSmaleComplex
+
+__all__ = ["AddressIndex", "GlueStats", "glue_into"]
 
 
 @dataclass
@@ -48,10 +57,69 @@ class GlueStats:
         return self
 
 
+class AddressIndex:
+    """Sorted address -> node-id index over a complex's living nodes.
+
+    The vectorized counterpart of
+    :meth:`MorseSmaleComplex.address_index`: a whole address array is
+    resolved with one ``searchsorted`` join instead of per-node dict
+    probes.  Supports in-place extension as gluing adds nodes, so
+    merging several members into one root reuses a single index.
+    """
+
+    __slots__ = ("_addrs", "_ids")
+
+    def __init__(self) -> None:
+        self._addrs = np.empty(0, dtype=np.int64)
+        self._ids = np.empty(0, dtype=np.int64)
+
+    @classmethod
+    def from_complex(cls, msc: MorseSmaleComplex) -> "AddressIndex":
+        """Index ``msc``'s living nodes by global address."""
+        index = cls()
+        nids = np.nonzero(np.asarray(msc.node_alive, dtype=bool))[0]
+        if nids.size:
+            addrs = np.asarray(msc.node_address, dtype=np.int64)[nids]
+            order = np.argsort(addrs)
+            index._addrs = addrs[order]
+            index._ids = nids[order].astype(np.int64)
+        return index
+
+    def lookup(self, queries: np.ndarray) -> np.ndarray:
+        """Node ids for an int64 address array; ``-1`` where absent."""
+        if self._addrs.size == 0:
+            return np.full(queries.shape, -1, dtype=np.int64)
+        pos = np.minimum(
+            np.searchsorted(self._addrs, queries), self._addrs.size - 1
+        )
+        return np.where(
+            self._addrs[pos] == queries, self._ids[pos], np.int64(-1)
+        )
+
+    def extend(self, addrs, ids) -> None:
+        """Insert new (address, node id) pairs; addresses must be new."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size == 0:
+            return
+        merged = np.concatenate([self._addrs, addrs])
+        order = np.argsort(merged, kind="stable")
+        self._addrs = merged[order]
+        self._ids = np.concatenate(
+            [self._ids, np.asarray(ids, dtype=np.int64)]
+        )[order]
+
+    def __len__(self) -> int:
+        return int(self._addrs.size)
+
+    def __contains__(self, addr: int) -> bool:
+        return bool(self.lookup(np.asarray([addr], dtype=np.int64))[0] >= 0)
+
+
 def glue_into(
     root: MorseSmaleComplex,
     other: MorseSmaleComplex,
-    addr_index: dict[int, int],
+    addr_index,
+    touched: set[int] | None = None,
 ) -> GlueStats:
     """Glue ``other`` into ``root`` in place.
 
@@ -63,60 +131,131 @@ def glue_into(
         A compacted complex received from a group member.  Must share
         ``global_refined_dims`` with the root.
     addr_index:
-        Address -> node-id map over the root's living nodes (as returned
-        by :meth:`MorseSmaleComplex.address_index`); updated in place so
-        that gluing several members at the same root stays linear-time.
+        Address -> node-id map over the root's living nodes: either an
+        :class:`AddressIndex` (the fast path) or a plain dict (as
+        returned by :meth:`MorseSmaleComplex.address_index`).  Updated
+        in place so that gluing several members at the same root stays
+        linear-time.
+    touched:
+        Optional set collecting the root-side ids of every node the glue
+        referenced (matched, unghosted, or newly added) — the seed set
+        for incremental re-simplification.
     """
     if other.global_refined_dims != root.global_refined_dims:
         raise ValueError("cannot glue complexes of different datasets")
 
     stats = GlueStats()
-    node_map: dict[int, int] = {}
-    shared: set[int] = set()
-    for nid in other.alive_nodes():
-        addr = other.node_address[nid]
-        existing = addr_index.get(addr)
-        if existing is not None:
-            if root.node_index[existing] != other.node_index[nid]:
+    n_other = len(other.node_address)
+    node_map = np.full(n_other, -1, dtype=np.int64)
+    shared = np.zeros(n_other, dtype=bool)
+    nids = np.nonzero(np.asarray(other.node_alive, dtype=bool))[0]
+
+    if nids.size:
+        addrs = np.asarray(other.node_address, dtype=np.int64)[nids]
+        if isinstance(addr_index, dict):
+            get = addr_index.get
+            existing = np.fromiter(
+                (get(a, -1) for a in addrs.tolist()),
+                dtype=np.int64,
+                count=int(addrs.size),
+            )
+        else:
+            existing = addr_index.lookup(addrs)
+        hit = existing >= 0
+        hit_nids = nids[hit]
+        hit_ids = existing[hit]
+        if hit_nids.size:
+            other_index = np.asarray(other.node_index, dtype=np.int64)
+            root_index = np.asarray(root.node_index, dtype=np.int64)
+            mismatch = root_index[hit_ids] != other_index[hit_nids]
+            if mismatch.any():
+                k = int(np.argmax(mismatch))
                 raise AssertionError(
-                    f"shared node at address {addr} disagrees on Morse "
-                    f"index: {root.node_index[existing]} vs "
-                    f"{other.node_index[nid]}"
+                    f"shared node at address {int(addrs[hit][k])} "
+                    "disagrees on Morse index: "
+                    f"{int(root_index[hit_ids[k]])} vs "
+                    f"{int(other_index[hit_nids[k]])}"
                 )
             # The "arc already exists in the root" rule only applies to
             # genuine shared-boundary nodes.  A ghost placeholder (from a
             # global-simplification split) matching an incoming real node
             # carries none of its arcs, so it must not suppress them.
-            if root.node_ghost[existing] and not other.node_ghost[nid]:
-                root.node_ghost[existing] = False
-                root.node_boundary[existing] = other.node_boundary[nid]
-            elif not root.node_ghost[existing] and not other.node_ghost[nid]:
-                shared.add(nid)
-            node_map[nid] = existing
-            stats.shared_nodes += 1
-        else:
-            new_id = root.add_node(
-                addr,
-                other.node_index[nid],
-                other.node_value[nid],
-                other.node_boundary[nid],
-                other.node_ghost[nid],
+            root_ghost = np.asarray(root.node_ghost, dtype=bool)
+            other_ghost = np.asarray(other.node_ghost, dtype=bool)
+            unghost = root_ghost[hit_ids] & ~other_ghost[hit_nids]
+            for nid, ex in zip(
+                hit_nids[unghost].tolist(), hit_ids[unghost].tolist()
+            ):
+                root.node_ghost[ex] = False
+                root.node_boundary[ex] = other.node_boundary[nid]
+            shared[hit_nids[~root_ghost[hit_ids] & ~other_ghost[hit_nids]]] = (
+                True
             )
-            addr_index[addr] = new_id
-            node_map[nid] = new_id
-            stats.nodes_added += 1
+            node_map[hit_nids] = hit_ids
+            stats.shared_nodes = int(hit_nids.size)
 
-    for aid in other.alive_arcs():
-        u = other.arc_upper[aid]
-        l = other.arc_lower[aid]
-        if u in shared and l in shared:
-            # the arc lies within the shared boundary and already exists
-            # in the root complex
-            stats.arcs_skipped += 1
-            continue
-        gid = root.new_leaf_geometry(other.geometry_addresses(aid))
-        root.add_arc(node_map[u], node_map[l], gid)
-        stats.arcs_added += 1
+        miss_nids = nids[~hit]
+        if miss_nids.size:
+            new_addrs = addrs[~hit]
+            first = len(root.node_address)
+            root.add_nodes(
+                new_addrs.tolist(),
+                np.asarray(other.node_index, dtype=np.int64)[
+                    miss_nids
+                ].tolist(),
+                np.asarray(other.node_value, dtype=np.float64)[
+                    miss_nids
+                ].tolist(),
+                np.asarray(other.node_boundary, dtype=bool)[
+                    miss_nids
+                ].tolist(),
+                ghosts=np.asarray(other.node_ghost, dtype=bool)[
+                    miss_nids
+                ].tolist(),
+            )
+            new_ids = np.arange(
+                first, first + miss_nids.size, dtype=np.int64
+            )
+            node_map[miss_nids] = new_ids
+            if isinstance(addr_index, dict):
+                addr_index.update(
+                    zip(new_addrs.tolist(), new_ids.tolist())
+                )
+            else:
+                addr_index.extend(new_addrs, new_ids)
+            stats.nodes_added = int(miss_nids.size)
+
+        if touched is not None:
+            touched.update(node_map[nids].tolist())
+
+    aids = np.nonzero(np.asarray(other.arc_alive, dtype=bool))[0]
+    if aids.size:
+        uppers = np.asarray(other.arc_upper, dtype=np.int64)[aids]
+        lowers = np.asarray(other.arc_lower, dtype=np.int64)[aids]
+        # an arc between two shared nodes lies within the shared
+        # boundary and already exists in the root complex
+        skip = shared[uppers] & shared[lowers]
+        keep = ~skip
+        stats.arcs_skipped = int(np.count_nonzero(skip))
+        kept = aids[keep]
+        if kept.size:
+            # adopt the member's leaf geometry objects outright — the
+            # member complex is discarded after the merge, and a
+            # compacted member's geometries are all leaves already
+            geoms_o, arc_geom_o = other.geoms, other.arc_geom
+            kept_geoms = []
+            for a in kept.tolist():
+                g = geoms_o[arc_geom_o[a]]
+                if not g.is_leaf:
+                    flat = other.geometry_addresses(a)
+                    g = ArcGeometry(leaf=flat, length=int(flat.size))
+                kept_geoms.append(g)
+            root.add_leaf_arcs_flat(
+                node_map[uppers[keep]],
+                node_map[lowers[keep]],
+                kept_geoms,
+            )
+            stats.arcs_added = int(kept.size)
 
     root.region_lo = tuple(
         min(a, b) for a, b in zip(root.region_lo, other.region_lo)

@@ -11,35 +11,48 @@ The three steps of the merge stage:
    shared-boundary nodes, updates node boundary flags against the cut
    planes that remain after the round, re-simplifies the newly interior
    nodes, and compacts.
+
+Within one radix-k round the per-root merges are independent, so the
+pipeline can dispatch them to a worker pool: :class:`MergeSpec` is the
+picklable work order (root and member blobs plus round parameters),
+:func:`merge_task` the pure worker function, and :class:`MergePayload`
+the result shipped back (merged blob, outcome counters, this merge's
+cancellation records, a CRC for corruption detection).
 """
 
 from __future__ import annotations
 
 import logging
+import zlib
 
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from typing import Callable
+from typing import Any, Callable
 
-from repro.core.glue import GlueStats, glue_into
+from repro.core.glue import AddressIndex, GlueStats, glue_into
 from repro.io.mscfile import deserialize_payload, serialize_payload
-from repro.morse.msc import MorseSmaleComplex
+from repro.morse.msc import Cancellation, MorseSmaleComplex
 from repro.morse.simplify import simplify_ms_complex
 from repro.morse.validate import assert_ms_complex_valid
-from repro.obs.trace import get_tracer
-from repro.parallel.executor import FaultToleranceError
+from repro.obs.trace import Tracer, get_tracer
+from repro.parallel.executor import CorruptPayloadError, FaultToleranceError
 
 logger = logging.getLogger(__name__)
 
 __all__ = [
     "MergeOutcome",
+    "MergeSpec",
+    "MergePayload",
     "MergeStageError",
+    "merge_task",
     "pack_complex",
     "unpack_complex",
     "perform_merge",
     "merge_with_retries",
+    "validate_merge_payload",
 ]
 
 
@@ -74,28 +87,44 @@ def perform_merge(
     remaining_cut_planes: tuple[np.ndarray, np.ndarray, np.ndarray],
     persistence_threshold: float,
     validate: bool = False,
+    incremental: bool = True,
 ) -> MergeOutcome:
     """Glue ``incoming`` complexes into ``root`` and re-simplify.
 
     ``remaining_cut_planes`` are the decomposition cut planes that still
     separate distinct merged blocks *after* this round; nodes no longer
     on any of them become interior and cancellable.
-    """
-    addr_index = root.address_index()
-    glue_total = GlueStats()
-    for other in incoming:
-        glue_total += glue_into(root, other, addr_index)
 
-    freed = root.update_boundary_flags(remaining_cut_planes)
+    With ``incremental=True`` (the default) the re-simplification heap
+    is seeded only from nodes the merge actually disturbed — glued,
+    matched, unghosted, and boundary-freed nodes — instead of re-heaping
+    every living arc.  This is exact (identical hierarchy and surviving
+    complex) *provided* the root and every incoming complex were
+    previously simplified at this same ``persistence_threshold`` with
+    ``respect_boundary=True``, which holds for every pipeline merge
+    round over simplified blocks; pass ``incremental=False`` when the
+    inputs have never been simplified at this threshold (e.g. a
+    zero-persistence compute stage that skipped block simplification).
+    """
+    addr_index = AddressIndex.from_complex(root)
+    glue_total = GlueStats()
+    touched: set[int] | None = set() if incremental else None
+    for other in incoming:
+        glue_total += glue_into(root, other, addr_index, touched=touched)
+
+    freed = root.update_boundary_flags(remaining_cut_planes, return_ids=True)
+    if touched is not None:
+        touched.update(freed)
     cancels = simplify_ms_complex(
-        root, persistence_threshold, respect_boundary=True
+        root, persistence_threshold, respect_boundary=True,
+        seed_nodes=touched,
     )
     root.compact()
     if validate:
         assert_ms_complex_valid(root)
     return MergeOutcome(
         glue=glue_total,
-        boundary_nodes_freed=freed,
+        boundary_nodes_freed=len(freed),
         cancellations=len(cancels),
         nodes_after=root.num_alive_nodes(),
         arcs_after=root.num_alive_arcs(),
@@ -110,25 +139,33 @@ def merge_with_retries(
     *,
     validate: bool = False,
     max_retries: int = 2,
+    incremental: bool = True,
     fault_hook: Callable[[int, list[bytes]], list[bytes]] | None = None,
     on_retry: Callable[[int, BaseException], None] | None = None,
+    root_blob: bytes | None = None,
 ) -> tuple[MorseSmaleComplex, MergeOutcome, int]:
     """Fault-tolerant :func:`perform_merge`: retry from a pristine snapshot.
 
     :func:`perform_merge` mutates the root in place, so a crash mid-merge
-    leaves it unusable.  This wrapper snapshots the root (the same packed
-    bytes the merge rounds already exchange) before the first attempt;
-    when an attempt fails — a corrupted member blob that will not unpack,
-    or an error inside the merge computation — the root is restored from
-    the snapshot (cancellation hierarchy included) and the merge retried
-    with the original, uncorrupted blobs, up to ``max_retries`` times.
-    A successful retry is therefore bit-identical to a fault-free merge.
+    leaves it unusable.  The snapshot needed to recover is taken
+    *lazily*: when the caller already holds the root's packed bytes it
+    passes them as ``root_blob`` (free), otherwise a snapshot is packed
+    up front only when a ``fault_hook`` is installed (chaos runs).  On
+    the no-fault fast path nothing is packed at all — member blobs are
+    unpacked *before* the root is touched, so the only failures that can
+    occur with a pristine root (a corrupted blob that will not unpack)
+    retry without any restore.  When an attempt fails after mutation
+    began, the root is restored from the snapshot (cancellation
+    hierarchy included) and the merge retried with the original,
+    uncorrupted blobs, up to ``max_retries`` times.  A successful retry
+    is therefore bit-identical to a fault-free merge.
 
     ``fault_hook`` is the chaos-testing injection point (see
     :meth:`repro.parallel.faults.FaultPlan.merge_hook`): called with
     ``(attempt, blobs)`` before each attempt, it may raise or return a
     corrupted blob list.  ``on_retry`` is notified of every failed
-    attempt for stats accounting.
+    attempt for stats accounting.  ``incremental`` is forwarded to
+    :func:`perform_merge`.
 
     Returns ``(root, outcome, retries)`` where ``root`` is the merged
     complex (a restored copy if any attempt failed) and ``retries`` how
@@ -136,27 +173,38 @@ def merge_with_retries(
     :class:`MergeStageError` with a readable message when the budget is
     exhausted.
     """
-    snapshot = pack_complex(root)
+    snapshot = root_blob
+    if snapshot is None and fault_hook is not None:
+        snapshot = pack_complex(root)
     saved_hierarchy = list(root.hierarchy)
     attempt = 0
+    mutated = False
     while True:
         try:
             blobs = list(incoming_blobs)
             if fault_hook is not None:
                 blobs = fault_hook(attempt, blobs)
             incoming = [unpack_complex(b) for b in blobs]
+            mutated = True
             outcome = perform_merge(
                 root,
                 incoming,
                 remaining_cut_planes,
                 persistence_threshold,
                 validate=validate,
+                incremental=incremental,
             )
             return root, outcome, attempt
         except Exception as exc:
-            if attempt >= max_retries:
+            unrecoverable = mutated and snapshot is None
+            if attempt >= max_retries or unrecoverable:
+                detail = (
+                    "; root mutated with no snapshot to restore"
+                    if unrecoverable and attempt < max_retries
+                    else ""
+                )
                 raise MergeStageError(
-                    f"merge failed after {attempt + 1} attempt(s); "
+                    f"merge failed after {attempt + 1} attempt(s){detail}; "
                     f"last error: {type(exc).__name__}: {exc}"
                 ) from exc
             logger.warning(
@@ -170,6 +218,107 @@ def merge_with_retries(
             )
             if on_retry is not None:
                 on_retry(attempt, exc)
-            root = unpack_complex(snapshot)
-            root.hierarchy.extend(saved_hierarchy)
+            if mutated:
+                root = unpack_complex(snapshot)
+                root.hierarchy.extend(saved_hierarchy)
+                mutated = False
             attempt += 1
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """Picklable work order for one pooled group-root merge."""
+
+    round_idx: int
+    root_block: int
+    root_blob: bytes
+    member_blobs: tuple[bytes, ...]
+    #: cut planes remaining *after* this round, one array per axis
+    cut_planes: tuple[np.ndarray, np.ndarray, np.ndarray]
+    persistence_threshold: float
+    incremental: bool = True
+    validate: bool = False
+    trace: bool = False
+
+    @property
+    def block_id(self) -> tuple[int, int]:
+        """Executor bookkeeping label — ``(round, root block)``."""
+        return (self.round_idx, self.root_block)
+
+
+@dataclass
+class MergePayload:
+    """Result of one pooled merge, shipped back from a worker."""
+
+    round_idx: int
+    root_block: int
+    #: the merged, compacted, re-packed root complex
+    blob: bytes
+    outcome: MergeOutcome
+    #: cancellation records of *this* merge only (packed blobs carry no
+    #: hierarchy; the driver accumulates per-root across rounds)
+    hierarchy: list[Cancellation]
+    #: worker-measured wall seconds of the merge computation proper
+    real_seconds: float
+    checksum: int = 0
+    worker_pid: int = 0
+    trace_events: list[Any] = field(default_factory=list)
+
+
+def merge_task(spec: MergeSpec) -> MergePayload:
+    """Perform one root merge from packed blobs (pure and pickle-safe).
+
+    The deterministic function behind the pooled merge stage: unpack the
+    root and member blobs, :func:`perform_merge`, re-pack.  Because the
+    inputs are immutable bytes, an executor-level retry simply reruns
+    this function — a fresh unpack *is* the pristine snapshot, so no
+    explicit restore path is needed.
+    """
+    tracer = Tracer(enabled=True)
+    ambient = tracer.installed() if spec.trace else nullcontext()
+    with ambient:
+        with tracer.span(
+            "merge.block", cat="merge",
+            round=spec.round_idx, root=spec.root_block,
+        ):
+            root = unpack_complex(spec.root_blob)
+            incoming = [unpack_complex(b) for b in spec.member_blobs]
+            with tracer.span("merge.compute", cat="merge") as work:
+                outcome = perform_merge(
+                    root,
+                    incoming,
+                    spec.cut_planes,
+                    spec.persistence_threshold,
+                    validate=spec.validate,
+                    incremental=spec.incremental,
+                )
+            blob = pack_complex(root)
+    return MergePayload(
+        round_idx=spec.round_idx,
+        root_block=spec.root_block,
+        blob=blob,
+        outcome=outcome,
+        hierarchy=list(root.hierarchy),
+        real_seconds=work.duration,
+        checksum=zlib.crc32(blob),
+        worker_pid=tracer.pid,
+        trace_events=tracer.events if spec.trace else [],
+    )
+
+
+def validate_merge_payload(spec: MergeSpec, payload: MergePayload) -> None:
+    """Executor validator: reject mismatched or corrupted merge results."""
+    if not isinstance(payload, MergePayload):
+        raise CorruptPayloadError(
+            f"merge {spec.block_id}: expected a MergePayload, got "
+            f"{type(payload).__name__}"
+        )
+    if (payload.round_idx, payload.root_block) != spec.block_id:
+        raise CorruptPayloadError(
+            f"merge {spec.block_id}: payload labeled "
+            f"({payload.round_idx}, {payload.root_block})"
+        )
+    if zlib.crc32(payload.blob) != payload.checksum:
+        raise CorruptPayloadError(
+            f"merge {spec.block_id}: blob checksum mismatch"
+        )

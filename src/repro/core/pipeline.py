@@ -48,9 +48,14 @@ import numpy as np
 
 from repro.core.config import PipelineConfig
 from repro.core.merge import (
+    MergePayload,
+    MergeSpec,
+    MergeStageError,
+    merge_task,
     merge_with_retries,
     pack_complex,
     unpack_complex,
+    validate_merge_payload,
 )
 from repro.core.result import PipelineResult
 from repro.core.stats import (
@@ -62,7 +67,6 @@ from repro.core.stats import (
     RankTimeline,
     TransportStats,
 )
-from repro.io.mscfile import serialize_payload
 from repro.io.volume import VolumeSpec, read_block
 from repro.machine.costmodel import ComputeWork, CostModel, MergeWork
 from repro.mesh.cubical import CubicalComplex, structure_tables
@@ -84,7 +88,12 @@ from repro.morse.validate import (
     assert_ms_complex_valid,
 )
 from repro.parallel.decomposition import BlockDecomposition, decompose
-from repro.parallel.executor import CorruptPayloadError, FaultTolerantExecutor
+from repro.parallel.executor import (
+    ComputeStageError,
+    CorruptPayloadError,
+    FaultTolerantExecutor,
+)
+from repro.parallel.faults import MergeFaultAdapter
 from repro.parallel.transport import SPEC_HEADER_BYTES, SharedVolumeHandle
 from repro.parallel.radixk import MergeSchedule
 from repro.parallel.runtime import VirtualMPI, pool_makespan
@@ -390,6 +399,16 @@ class _RunContext:
     ft: FaultToleranceStats = field(default_factory=FaultToleranceStats)
     #: the run's tracer (always enabled: it is the stage stopwatch)
     tracer: Tracer = field(default_factory=Tracer)
+    #: resolved merge-stage backend ("serial" or "pool")
+    merge_mode: str = "serial"
+    #: pooled-merge results precomputed by the driver, keyed
+    #: ``(round_idx, root_block)``
+    merge_results: dict[tuple[int, int], MergePayload] = field(
+        default_factory=dict
+    )
+    #: round-0 inputs were already simplified at the run threshold, so
+    #: the first merge round may re-simplify incrementally
+    presimplified: bool = True
 
 
 class ParallelMSComplexPipeline:
@@ -591,6 +610,47 @@ class ParallelMSComplexPipeline:
                 registry.merge_snapshot(p.metrics)
         payloads = {p.block_id: p for p in payload_list}
 
+        # ---- merge stage pre-pass (pooled backend) --------------------
+        # Within a round the per-root merges are independent functions of
+        # packed blobs, so the driver can fan them out over a worker pool
+        # before the virtual ranks run — the same pre-pass pattern as the
+        # compute stage.  The ranks then adopt the precomputed results;
+        # determinism makes them byte-identical to in-rank merging, so
+        # the virtual clock and message accounting are unchanged.
+        merge_mode = cfg.resolved_merge_executor
+        presimplified = (
+            cfg.persistence_threshold > 0 or cfg.simplify_at_zero_persistence
+        )
+        merge_results: dict[tuple[int, int], MergePayload] = {}
+        merge_wall = 0.0
+        if merge_mode == "pool" and schedule.num_rounds > 0:
+            merge_ft = FaultToleranceStats()
+            with tracer.span(
+                "merge.dispatch", cat="merge",
+                rounds=schedule.num_rounds, workers=cfg.workers,
+            ) as merge_dispatch:
+                merge_results = self._pooled_merge_prepass(
+                    cfg, tracer, payloads, groups_by_round, cuts_by_round,
+                    presimplified, merge_ft,
+                )
+            merge_wall = merge_dispatch.duration
+            logger.info(
+                "merge stage done: %d merges over %d rounds in %.3fs on "
+                "pool executor",
+                len(merge_results), schedule.num_rounds, merge_wall,
+            )
+            # fold the merge executor's counters into the run's fault
+            # stats; executor-level retries are merge retries here
+            ft.merge_retries += merge_ft.retries
+            ft.pool_restarts += merge_ft.pool_restarts
+            ft.backoff_seconds += merge_ft.backoff_seconds
+            if merge_ft.degraded:
+                ft.degraded = True
+                ft.degradation_events.extend(merge_ft.degradation_events)
+            if cfg.trace:
+                for mp in merge_results.values():
+                    tracer.absorb(mp.trace_events)
+
         ctx = _RunContext(
             cfg=cfg,
             decomp=decomp,
@@ -602,6 +662,9 @@ class ParallelMSComplexPipeline:
             cuts_by_round=cuts_by_round,
             ft=ft,
             tracer=tracer,
+            merge_mode=merge_mode,
+            merge_results=merge_results,
+            presimplified=presimplified,
         )
 
         with tracer.span(
@@ -617,31 +680,112 @@ class ParallelMSComplexPipeline:
             message_bytes=sum(m.nbytes for m in mpi.message_log),
             workers=cfg.workers,
             executor=cfg.resolved_executor,
+            merge_executor=merge_mode,
             compute_wall_seconds=dispatch_span.duration,
             faults=ft,
             transport=transport,
         )
         output_blocks: dict[int, MorseSmaleComplex] = {}
+        output_blobs: dict[int, bytes] = {}
         for ret in rank_returns:
             stats.block_stats.extend(ret["block_stats"])
             stats.merge_events.extend(ret["merge_events"])
             stats.timelines.append(ret["timeline"])
             for bid, msc in ret["final_blocks"].items():
                 output_blocks[bid] = msc
+            output_blobs.update(ret["final_blobs"])
         stats.block_stats.sort(key=lambda b: b.block_id)
+        stats.merge_wall_seconds = (
+            merge_wall
+            if merge_mode == "pool"
+            else sum(ev.real_seconds for ev in stats.merge_events)
+        )
+        # the write stage already packed every final complex once; reuse
+        # those bytes instead of serializing a second time
         with tracer.span(
             "io.serialize_output", cat="io", blocks=len(output_blocks)
         ):
             stats.output_bytes = sum(
-                len(serialize_payload(m.to_payload()))
-                for m in output_blocks.values()
+                len(b) for b in output_blobs.values()
             )
         return PipelineResult(
             output_blocks=output_blocks,
             decomposition=decomp,
             schedule=schedule,
             stats=stats,
+            output_blobs=output_blobs,
         )
+
+    def _pooled_merge_prepass(
+        self,
+        cfg: PipelineConfig,
+        tracer: Tracer,
+        payloads: dict[int, BlockPayload],
+        groups_by_round,
+        cuts_by_round,
+        presimplified: bool,
+        merge_ft: FaultToleranceStats,
+    ) -> dict[tuple[int, int], MergePayload]:
+        """Fan every round's root merges out over a worker pool.
+
+        Maintains the current packed blob of every surviving block
+        (round 0 starts from the compute payloads' blobs — already the
+        ``pack_complex`` format) and dispatches each round's independent
+        :class:`MergeSpec` batch through a fault-tolerant executor; a
+        worker crash retries the merge from the immutable input blobs,
+        and an unhealthy pool degrades to in-process execution, both
+        bit-identical.  Returns the per-merge results for the rank
+        programs to adopt.
+        """
+        executor = FaultTolerantExecutor(
+            kind="process",
+            workers=cfg.workers,
+            policy=cfg.retry_policy(),
+            plan=(
+                MergeFaultAdapter(cfg.faults)
+                if cfg.faults is not None
+                else None
+            ),
+            validator=validate_merge_payload,
+            stats=merge_ft,
+            tracer=tracer if cfg.trace else None,
+        )
+        results: dict[tuple[int, int], MergePayload] = {}
+        current = {bid: p.blob for bid, p in payloads.items()}
+        try:
+            for round_idx, groups in enumerate(groups_by_round):
+                specs = []
+                for root_bid, _root_rank, members in groups:
+                    member_blobs = tuple(
+                        current.pop(mbid) for mbid, _ in members
+                    )
+                    specs.append(
+                        MergeSpec(
+                            round_idx=round_idx,
+                            root_block=root_bid,
+                            root_blob=current[root_bid],
+                            member_blobs=member_blobs,
+                            cut_planes=cuts_by_round[round_idx],
+                            persistence_threshold=(
+                                cfg.persistence_threshold
+                            ),
+                            incremental=round_idx > 0 or presimplified,
+                            validate=cfg.validate,
+                            trace=cfg.trace,
+                        )
+                    )
+                try:
+                    round_payloads = executor.map_blocks(
+                        merge_task, specs
+                    )
+                except ComputeStageError as exc:
+                    raise MergeStageError(str(exc)) from exc
+                for mp in round_payloads:
+                    current[mp.root_block] = mp.blob
+                    results[(mp.round_idx, mp.root_block)] = mp
+        finally:
+            executor.close()
+        return results
 
     def _trace_record(
         self, tracer: Tracer, stats: PipelineStats
@@ -735,7 +879,13 @@ def _rank_main(comm, ctx: _RunContext):
     # by :func:`compute_block` on the configured backend); here the rank
     # unpacks its own and charges the virtual clock with the makespan of
     # its blocks over its `workers`-wide pool rather than the serial sum.
+    # In pooled merge mode the merges themselves were also precomputed by
+    # the driver, so the rank stays blob-resident: it ships and adopts
+    # packed bytes and never unpacks a complex until the write stage.
+    pooled_merge = ctx.merge_mode == "pool"
     complexes: dict[int, MorseSmaleComplex] = {}
+    blobs: dict[int, bytes] = {}
+    hierarchies: dict[int, list] = {}
     block_virtual: list[float] = []
     for bid in my_blocks:
         payload = ctx.payloads.pop(bid)
@@ -746,7 +896,11 @@ def _rank_main(comm, ctx: _RunContext):
         )
         virt = model.compute_time(work)
         block_virtual.append(virt)
-        complexes[bid] = unpack_complex(payload.blob)
+        if pooled_merge:
+            blobs[bid] = payload.blob
+            hierarchies[bid] = []
+        else:
+            complexes[bid] = unpack_complex(payload.blob)
         block_stats.append(
             BlockComputeStats(
                 block_id=bid,
@@ -768,14 +922,18 @@ def _rank_main(comm, ctx: _RunContext):
 
     # ---- merge rounds (§IV-F) -------------------------------------------
     nb = decomp.num_blocks
+    owned = blobs if pooled_merge else complexes
     for round_idx in range(schedule.num_rounds):
         groups = ctx.groups_by_round[round_idx]
         # pass 1: send local member complexes to their group roots
         for root_bid, root_rank, members in groups:
             for mbid, m_rank in members:
-                if m_rank != comm.rank or mbid not in complexes:
+                if m_rank != comm.rank or mbid not in owned:
                     continue  # not ours
-                blob = pack_complex(complexes.pop(mbid))
+                if pooled_merge:
+                    blob = blobs.pop(mbid)
+                else:
+                    blob = pack_complex(complexes.pop(mbid))
                 message = {"clock": clock, "blob": blob}
                 if root_rank == comm.rank:
                     # local move: no message, data already resident
@@ -789,7 +947,7 @@ def _rank_main(comm, ctx: _RunContext):
         # pass 2: roots receive and merge
         cuts_after = ctx.cuts_by_round[round_idx]
         for root_bid, root_rank, members in groups:
-            if root_rank != comm.rank or root_bid not in complexes:
+            if root_rank != comm.rank or root_bid not in owned:
                 continue
             arrivals = [clock]
             incoming_blobs: list[bytes] = []
@@ -814,37 +972,48 @@ def _rank_main(comm, ctx: _RunContext):
             wait = max(arrivals) - clock
             clock = max(arrivals)
 
-            def _count_merge_retry(attempt, exc, _ft=ctx.ft):
-                _ft.merge_retries += 1
-
-            fault_hook = (
-                cfg.faults.merge_hook(round_idx, root_bid)
-                if cfg.faults is not None
-                else None
-            )
             with ctx.tracer.span(
                 "merge.round", cat="merge",
                 lane=RANK_LANE_BASE + comm.rank,
                 round=round_idx, root=root_bid,
                 members=len(members), received_bytes=recv_bytes,
             ) as merge_span:
-                root_msc, outcome, _ = merge_with_retries(
-                    complexes[root_bid],
-                    incoming_blobs,
-                    cuts_after,
-                    cfg.persistence_threshold,
-                    validate=cfg.validate,
-                    max_retries=cfg.max_retries,
-                    fault_hook=fault_hook,
-                    on_retry=_count_merge_retry,
-                )
+                if pooled_merge:
+                    # adopt the result the merge executor precomputed;
+                    # determinism makes it byte-identical to merging here
+                    mp = ctx.merge_results[(round_idx, root_bid)]
+                    blobs[root_bid] = mp.blob
+                    hierarchies[root_bid].extend(mp.hierarchy)
+                    outcome = mp.outcome
+                    real = mp.real_seconds
+                else:
+                    def _count_merge_retry(attempt, exc, _ft=ctx.ft):
+                        _ft.merge_retries += 1
+
+                    fault_hook = (
+                        cfg.faults.merge_hook(round_idx, root_bid)
+                        if cfg.faults is not None
+                        else None
+                    )
+                    root_msc, outcome, _ = merge_with_retries(
+                        complexes[root_bid],
+                        incoming_blobs,
+                        cuts_after,
+                        cfg.persistence_threshold,
+                        validate=cfg.validate,
+                        max_retries=cfg.max_retries,
+                        incremental=round_idx > 0 or ctx.presimplified,
+                        fault_hook=fault_hook,
+                        on_retry=_count_merge_retry,
+                    )
+                    complexes[root_bid] = root_msc
                 merge_span.annotate(
                     nodes_glued=outcome.glue.nodes_added,
                     arcs_glued=outcome.glue.arcs_added,
                     cancellations=outcome.cancellations,
                 )
-            complexes[root_bid] = root_msc
-            real = merge_span.duration
+            if not pooled_merge:
+                real = merge_span.duration
             mwork = MergeWork(
                 glued_elements=(
                     outcome.glue.nodes_added + outcome.glue.arcs_added
@@ -873,9 +1042,22 @@ def _rank_main(comm, ctx: _RunContext):
         timeline.after_round.append(clock)
 
     # ---- write MS complex blocks (§IV-G) --------------------------------
-    write_bytes = sum(
-        len(pack_complex(m)) for m in complexes.values()
-    )
+    # pack each surviving complex exactly once: the same bytes price the
+    # virtual write, become the cached output blobs of the result, and
+    # (pooled mode) are already at hand from the merge executor
+    if pooled_merge:
+        final_blobs = blobs
+        final_blocks: dict[int, MorseSmaleComplex] = {}
+        for bid, blob in blobs.items():
+            msc = unpack_complex(blob)
+            msc.hierarchy.extend(hierarchies[bid])
+            final_blocks[bid] = msc
+    else:
+        final_blocks = complexes
+        final_blobs = {
+            bid: pack_complex(m) for bid, m in complexes.items()
+        }
+    write_bytes = sum(len(b) for b in final_blobs.values())
     timeline.write = model.write_time(write_bytes)
     clock += timeline.write
     timeline.final_clock = clock
@@ -884,5 +1066,6 @@ def _rank_main(comm, ctx: _RunContext):
         "block_stats": block_stats,
         "merge_events": merge_events,
         "timeline": timeline,
-        "final_blocks": complexes,
+        "final_blocks": final_blocks,
+        "final_blobs": final_blobs,
     }

@@ -28,6 +28,10 @@ class PipelineResult:
     decomposition: BlockDecomposition
     schedule: MergeSchedule
     stats: PipelineStats
+    #: serialized record bytes per output block (the ``pack_complex``
+    #: format, identical to ``to_payload`` serialization), cached by the
+    #: pipeline's write stage so :meth:`write` does not re-pack
+    output_blobs: dict[int, bytes] | None = None
 
     @property
     def merged_complexes(self) -> list[MorseSmaleComplex]:
@@ -59,9 +63,18 @@ class PipelineResult:
         return tuple(counts)
 
     def write(self, path: str | Path) -> int:
-        """Write the output blocks as an MSC file; returns bytes written."""
-        blocks = [
-            (bid, self.output_blocks[bid].to_payload())
-            for bid in sorted(self.output_blocks)
-        ]
+        """Write the output blocks as an MSC file; returns bytes written.
+
+        Uses the pipeline's cached serialized records when available
+        (byte-identical to serializing ``to_payload()`` afresh), so the
+        complexes are packed exactly once per run.
+        """
+        blobs = self.output_blobs
+        if blobs is not None and set(blobs) == set(self.output_blocks):
+            blocks = [(bid, blobs[bid]) for bid in sorted(blobs)]
+        else:
+            blocks = [
+                (bid, self.output_blocks[bid].to_payload())
+                for bid in sorted(self.output_blocks)
+            ]
         return write_msc_file(path, blocks)

@@ -185,8 +185,13 @@ class PipelineStats:
     workers: int = 1
     #: concrete compute-stage backend ("serial" or "process")
     executor: str = "serial"
+    #: concrete merge-stage backend ("serial" or "pool")
+    merge_executor: str = "serial"
     #: real wall-clock seconds of the compute stage across all blocks
     compute_wall_seconds: float = 0.0
+    #: real wall-clock seconds of the merge stage (pooled: the driver
+    #: pre-pass dispatch; serial: summed in-rank root-merge times)
+    merge_wall_seconds: float = 0.0
     #: fault-tolerance observability (retries, timeouts, degradations)
     faults: FaultToleranceStats = field(default_factory=FaultToleranceStats)
     #: block-transport observability (kind, bytes shipped per dispatch)

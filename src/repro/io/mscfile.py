@@ -85,14 +85,22 @@ def write_msc_file(
 
     ``blocks`` holds ``(block_id, payload)`` pairs, typically one pair per
     merged output block (processes with no output block contribute
-    nothing — the collective "null write").
+    nothing — the collective "null write").  A payload may also be a
+    pre-serialized record (``bytes``, as produced by
+    :func:`serialize_payload` / ``pack_complex``), which is written
+    verbatim — the pipeline uses this to avoid re-packing complexes it
+    already holds in serialized form.
     """
     index: list[tuple[int, int, int]] = []
     with get_tracer().span(
         "io.write_msc", cat="io", path=str(path), blocks=len(blocks)
     ) as sp, open(path, "wb") as f:
         for block_id, payload in blocks:
-            record = serialize_payload(payload)
+            record = (
+                bytes(payload)
+                if isinstance(payload, (bytes, bytearray, memoryview))
+                else serialize_payload(payload)
+            )
             index.append((int(block_id), f.tell(), len(record)))
             f.write(record)
         footer_offset = f.tell()

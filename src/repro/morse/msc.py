@@ -197,26 +197,42 @@ class MorseSmaleComplex:
     def add_nodes(
         self,
         addresses: list[int],
-        index: int,
+        index,
         values: list[float],
         boundaries: list[bool],
+        ghosts: list[bool] | None = None,
     ) -> int:
-        """Bulk-append node records of one Morse index; returns first id.
+        """Bulk-append node records; returns the first new id.
 
         Produces records identical to repeated :meth:`add_node` calls
         (ids ``first .. first + len(addresses) - 1`` in list order),
         using C-speed list extends instead of per-node calls — this is
-        the node half of 1-skeleton extraction.
+        the node half of 1-skeleton extraction.  ``index`` is either one
+        Morse index shared by the whole batch (the extraction case) or a
+        per-node sequence (the glue case, where a batch interleaves
+        indexes); ``ghosts`` defaults to all-real nodes.
         """
-        if not 0 <= index <= 3:
-            raise ValueError(f"Morse index must be 0..3, got {index}")
         k = len(addresses)
+        if isinstance(index, int):
+            if not 0 <= index <= 3:
+                raise ValueError(f"Morse index must be 0..3, got {index}")
+            indexes = [index] * k
+        else:
+            indexes = list(index)
+            if len(indexes) != k:
+                raise ValueError(
+                    f"per-node index sequence has {len(indexes)} entries "
+                    f"for {k} addresses"
+                )
+            for i in indexes:
+                if not 0 <= i <= 3:
+                    raise ValueError(f"Morse index must be 0..3, got {i}")
         first = len(self.node_address)
         self.node_address.extend(addresses)
-        self.node_index.extend([index] * k)
+        self.node_index.extend(indexes)
         self.node_value.extend(values)
         self.node_boundary.extend(boundaries)
-        self.node_ghost.extend([False] * k)
+        self.node_ghost.extend([False] * k if ghosts is None else ghosts)
         self.node_alive.extend([True] * k)
         self.node_arcs.extend([] for _ in range(k))
         return first
@@ -475,6 +491,68 @@ class MorseSmaleComplex:
         """Mark an arc dead."""
         self.arc_alive[aid] = False
 
+    def add_leaf_arcs_flat(
+        self,
+        uppers: np.ndarray,
+        lowers: np.ndarray,
+        geoms: list[ArcGeometry],
+    ) -> None:
+        """Bulk-append arcs with prebuilt leaf geometry objects.
+
+        ``uppers`` and ``lowers`` are int64 arrays of endpoint node ids,
+        one arc each in arc order; ``geoms`` the matching leaf
+        :class:`ArcGeometry` objects, *adopted* rather than copied —
+        callers hand over geometries of a complex being consumed (the
+        glue path, where the member complex is discarded after the
+        merge).  Produces records identical to sequential
+        ``new_leaf_geometry`` + ``add_arc`` calls, with the incidence
+        and multiplicity updates vectorized over the whole batch.
+        """
+        k = int(lowers.size)
+        if k == 0:
+            return
+        node_index = np.asarray(self.node_index, dtype=np.int64)
+        bad = node_index[uppers] != node_index[lowers] + 1
+        if bad.any():
+            i = int(np.argmax(bad))
+            raise ValueError(
+                "arc endpoints must differ in Morse index by exactly 1 "
+                f"(got {int(node_index[uppers[i]])} and "
+                f"{int(node_index[lowers[i]])})"
+            )
+        aid0 = len(self.arc_upper)
+        gid0 = len(self.geoms)
+        self.geoms.extend(geoms)
+        self.arc_upper.extend(uppers.tolist())
+        self.arc_lower.extend(lowers.tolist())
+        self.arc_geom.extend(range(gid0, gid0 + k))
+        self.arc_alive.extend([True] * k)
+        # each arc lands in both endpoints' incidence lists in ascending
+        # arc-id order — the order sequential add_arc calls would append
+        aids = np.arange(aid0, aid0 + k, dtype=np.int64)
+        nodes = np.concatenate([uppers, lowers])
+        both = np.concatenate([aids, aids])
+        order = np.lexsort((both, nodes))
+        nodes_s = nodes[order]
+        starts = np.concatenate(
+            ([0], np.nonzero(np.diff(nodes_s))[0] + 1)
+        )
+        node_arcs = self.node_arcs
+        for start, chunk in zip(
+            starts.tolist(), np.split(both[order], starts[1:])
+        ):
+            node_arcs[int(nodes_s[start])].extend(chunk.tolist())
+        span = np.int64(len(self.node_address))
+        packed = (
+            np.minimum(uppers, lowers) * span + np.maximum(uppers, lowers)
+        )
+        pairs, mult = np.unique(packed, return_counts=True)
+        pm = self.pair_multiplicity
+        pm_get = pm.get
+        for p, m in zip(pairs.tolist(), mult.tolist()):
+            key = (p // span.item(), p % span.item())
+            pm[key] = pm_get(key, 0) + m
+
     def compact(self) -> None:
         """Drop dead records and flatten composite geometries (§IV-F1).
 
@@ -496,59 +574,84 @@ class MorseSmaleComplex:
         ):
             return
 
-        node_map = {}
-        new_addr, new_idx, new_val, new_bnd, new_ghost = [], [], [], [], []
-        for i, alive in enumerate(self.node_alive):
-            if alive:
-                node_map[i] = len(new_addr)
-                new_addr.append(self.node_address[i])
-                new_idx.append(self.node_index[i])
-                new_val.append(self.node_value[i])
-                new_bnd.append(self.node_boundary[i])
-                new_ghost.append(self.node_ghost[i])
+        alive_n = np.asarray(self.node_alive, dtype=bool)
+        node_map = np.cumsum(alive_n) - 1  # valid at alive indices only
+        keep = np.nonzero(alive_n)[0]
+        num_nodes = int(keep.size)
+        self.node_address = (
+            np.asarray(self.node_address, dtype=np.int64)[keep].tolist()
+        )
+        self.node_index = (
+            np.asarray(self.node_index, dtype=np.int64)[keep].tolist()
+        )
+        self.node_value = (
+            np.asarray(self.node_value, dtype=np.float64)[keep].tolist()
+        )
+        self.node_boundary = (
+            np.asarray(self.node_boundary, dtype=bool)[keep].tolist()
+        )
+        self.node_ghost = (
+            np.asarray(self.node_ghost, dtype=bool)[keep].tolist()
+        )
 
-        new_up, new_lo, new_geom = [], [], []
+        arc_keep = np.nonzero(np.asarray(self.arc_alive, dtype=bool))[0]
+        num_arcs = int(arc_keep.size)
+        new_up = node_map[np.asarray(self.arc_upper, dtype=np.int64)[arc_keep]]
+        new_lo = node_map[np.asarray(self.arc_lower, dtype=np.int64)[arc_keep]]
         new_geoms: list[ArcGeometry] = []
-        for a, alive in enumerate(self.arc_alive):
-            if not alive:
-                continue
-            flat = self._expand_geometry(self.arc_geom[a])
-            gid = len(new_geoms)
-            new_geoms.append(ArcGeometry(leaf=flat, length=int(flat.size)))
-            new_up.append(node_map[self.arc_upper[a]])
-            new_lo.append(node_map[self.arc_lower[a]])
-            new_geom.append(gid)
+        for a in arc_keep.tolist():
+            geo = self.geoms[self.arc_geom[a]]
+            if not geo.is_leaf:
+                flat = self._expand_geometry(self.arc_geom[a])
+                geo = ArcGeometry(leaf=flat, length=int(flat.size))
+            new_geoms.append(geo)
 
-        self.node_address = new_addr
-        self.node_index = new_idx
-        self.node_value = new_val
-        self.node_boundary = new_bnd
-        self.node_ghost = new_ghost
-        self.node_alive = [True] * len(new_addr)
-        self.node_arcs = [[] for _ in new_addr]
-        self.arc_upper, self.arc_lower = new_up, new_lo
-        self.arc_geom = new_geom
-        self.arc_alive = [True] * len(new_up)
+        self.node_alive = [True] * num_nodes
+        self.arc_upper = new_up.tolist()
+        self.arc_lower = new_lo.tolist()
+        self.arc_geom = list(range(num_arcs))
+        self.arc_alive = [True] * num_arcs
         self.geoms = new_geoms
-        self.pair_multiplicity = {}
-        for aid in range(len(new_up)):
-            u, l = new_up[aid], new_lo[aid]
-            self.node_arcs[u].append(aid)
-            self.node_arcs[l].append(aid)
-            key = (u, l) if u < l else (l, u)
-            self.pair_multiplicity[key] = (
-                self.pair_multiplicity.get(key, 0) + 1
-            )
 
-    def update_boundary_flags(self, cut_planes) -> int:
+        if num_arcs:
+            # each arc appears in both endpoints' incidence lists, in
+            # ascending arc-id order (the order sequential add_arc built)
+            aids = np.arange(num_arcs, dtype=np.int64)
+            nodes = np.concatenate([new_up, new_lo])
+            both = np.concatenate([aids, aids])
+            order = np.lexsort((both, nodes))
+            counts = np.bincount(nodes, minlength=num_nodes)
+            self.node_arcs = [
+                chunk.tolist()
+                for chunk in np.split(both[order], np.cumsum(counts)[:-1])
+            ]
+            key_lo = np.minimum(new_up, new_lo)
+            key_hi = np.maximum(new_up, new_lo)
+            pairs, mult = np.unique(
+                key_lo * num_nodes + key_hi, return_counts=True
+            )
+            self.pair_multiplicity = {
+                (int(p // num_nodes), int(p % num_nodes)): int(m)
+                for p, m in zip(pairs, mult)
+            }
+        else:
+            self.node_arcs = [[] for _ in range(num_nodes)]
+            self.pair_multiplicity = {}
+
+    def update_boundary_flags(self, cut_planes, return_ids: bool = False):
         """Recompute node boundary flags from the remaining cut planes.
 
         After a merge round removes cut planes interior to the merged
         region, "the boundary status of each node is updated according to
         the bounds of the merged blocks.  The newly interior nodes become
         candidates for cancellation" (§IV-F3).  Returns the number of
-        nodes whose flag changed from boundary to interior.
+        nodes whose flag changed from boundary to interior — or, with
+        ``return_ids=True``, their ids in ascending order (the seed set
+        for incremental re-simplification).  Ghost nodes keep their
+        protection unconditionally.
         """
+        if not self.node_address:
+            return [] if return_ids else 0
         gx, gy, _gz = self.global_refined_dims
         tables = []
         for axis in range(3):
@@ -557,21 +660,20 @@ class MorseSmaleComplex:
             if planes.size:
                 table[planes] = True
             tables.append(table)
-        freed = 0
-        for i, alive in enumerate(self.node_alive):
-            if not alive or self.node_ghost[i]:
-                continue  # ghosts keep their protection unconditionally
-            addr = self.node_address[i]
-            ci = addr % gx
-            cj = (addr // gx) % gy
-            ck = addr // (gx * gy)
-            on_boundary = bool(
-                tables[0][ci] or tables[1][cj] or tables[2][ck]
-            )
-            if self.node_boundary[i] and not on_boundary:
-                freed += 1
-            self.node_boundary[i] = on_boundary
-        return freed
+        addr = np.asarray(self.node_address, dtype=np.int64)
+        ci = addr % gx
+        cj = (addr // gx) % gy
+        ck = addr // (gx * gy)
+        on_boundary = tables[0][ci] | tables[1][cj] | tables[2][ck]
+        active = np.asarray(self.node_alive, dtype=bool) & ~np.asarray(
+            self.node_ghost, dtype=bool
+        )
+        old = np.asarray(self.node_boundary, dtype=bool)
+        freed_mask = active & old & ~on_boundary
+        self.node_boundary = np.where(active, on_boundary, old).tolist()
+        if return_ids:
+            return np.nonzero(freed_mask)[0].tolist()
+        return int(freed_mask.sum())
 
     # ------------------------------------------------------------------
     # serialization (consumed by repro.io.mscfile and the merge stage)

@@ -38,6 +38,7 @@ def simplify_ms_complex(
     max_cancellations: int | None = None,
     max_new_arcs: int | None = None,
     max_arc_multiplicity: int | None = 4,
+    seed_nodes=None,
 ) -> list[Cancellation]:
     """Cancel node pairs in order of persistence up to ``threshold``.
 
@@ -73,6 +74,25 @@ def simplify_ms_complex(
         redundant parallel arc copies (and their geometry) are dropped.
         Noisy data drives quadratic parallel-arc growth without this
         cap; pass ``None`` for the exact full arc multiset.
+    seed_nodes:
+        Optional iterable of node ids; when given, only arcs incident to
+        these nodes seed the candidate heap instead of every living arc.
+        This is the incremental re-simplification entry point for the
+        merge stage: if the complex was previously simplified at the
+        *same* threshold (with ``respect_boundary=True``) and the only
+        changes since were (a) gluing in new nodes/arcs, (b) unghosting
+        matched nodes, and (c) boundary flags dropped by
+        ``update_boundary_flags``, then seeding with exactly the glued,
+        matched, unghosted, and freed nodes provably yields the same
+        cancellation hierarchy as a full re-heap: every arc the previous
+        pass left alive was skipped for a reason (persistence above
+        threshold, boundary/ghost endpoint, non-unique connection) that
+        can only be lifted by one of those tracked events, and
+        cancellations triggered from the seeds re-push every arc they
+        create.  Seeds are expanded to arcs in ascending arc-id order so
+        heap tie-breaking (the push counter) matches the full-heap
+        ordering among live candidates.  ``None`` (the default) keeps
+        the exhaustive behavior.
 
     Returns
     -------
@@ -108,8 +128,21 @@ def simplify_ms_complex(
         )
         counter += 1
 
-    for aid in msc.alive_arcs():
-        push(aid)
+    if seed_nodes is None:
+        for aid in msc.alive_arcs():
+            push(aid)
+    else:
+        # ascending-aid pushes keep the counter-based tie-breaking
+        # consistent with the full-heap seeding order
+        seed_arcs = {
+            a
+            for n in seed_nodes
+            if msc.node_alive[n]
+            for a in msc.node_arcs[n]
+            if msc.arc_alive[a]
+        }
+        for aid in sorted(seed_arcs):
+            push(aid)
 
     performed: list[Cancellation] = []
     while heap:
