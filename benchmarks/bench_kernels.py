@@ -5,6 +5,16 @@ Not a paper table — these time the stages the cost model prices
 so that regressions in the hot paths are visible, and so the calibrated
 cells/second constants in :mod:`repro.machine.bgp` can be compared with
 what this Python implementation actually achieves.
+
+Besides the pytest-benchmark entry points, the module is runnable::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py          # full
+    PYTHONPATH=src python benchmarks/bench_kernels.py --smoke  # CI
+
+The full run regenerates the repo-root ``BENCH_kernels.json``,
+including a dfs-vs-pointer A/B of the two V-path tracing backends;
+``--smoke`` runs a scaled-down single-rep pass that checks every timer
+fires and that both tracing backends produce identical complexes.
 """
 
 from __future__ import annotations
@@ -144,6 +154,19 @@ def _best_of(fn, reps: int) -> float:
     return best
 
 
+#: per-field caches extract_ms_complex memoizes; dropped between reps so
+#: every timing pays the one-time build the pipeline pays per block
+_TRACE_CACHE_ATTRS = ("_trace_state", "_pointer_state",
+                      "_continuation_tables")
+
+
+def _cold_trace(grad, kernel_backend: str = "auto"):
+    for attr in _TRACE_CACHE_ATTRS:
+        if hasattr(grad, attr):
+            delattr(grad, attr)
+    return extract_ms_complex(grad, kernel_backend=kernel_backend)
+
+
 def measure_kernels(reps: int = 7) -> dict:
     """Serial kernel timings on the full field (min over ``reps``)."""
     out = {}
@@ -153,15 +176,25 @@ def measure_kernels(reps: int = 7) -> dict:
         lambda: compute_discrete_gradient(cx), reps
     )
     grad = compute_discrete_gradient(cx)
+    out["trace_s"] = _best_of(lambda: _cold_trace(grad), reps)
+    return out
 
-    def trace():
-        # drop the memoized per-field trace state so every rep pays the
-        # one-time build the pipeline pays per block, like the baseline
-        if hasattr(grad, "_trace_state"):
-            del grad._trace_state
-        extract_ms_complex(grad)
 
-    out["trace_s"] = _best_of(trace, reps)
+def measure_backend_ab(reps: int = 7) -> dict:
+    """Cold dfs-vs-pointer A/B of the tracing kernel on the full field.
+
+    Both numbers include the per-block one-time costs (continuation
+    tables, pointer arrays) so the ratio reflects what a pipeline block
+    actually pays when the backend knob flips.
+    """
+    grad = compute_discrete_gradient(CubicalComplex(FIELD))
+    out = {
+        "trace_dfs_s": _best_of(lambda: _cold_trace(grad, "dfs"), reps),
+        "trace_pointer_s": _best_of(
+            lambda: _cold_trace(grad, "pointer"), reps
+        ),
+    }
+    out["tracing_backend_ab"] = out["trace_dfs_s"] / out["trace_pointer_s"]
     return out
 
 
@@ -184,6 +217,9 @@ def collect_before_after(
     import sys
 
     after = measure_kernels(kernel_reps)
+    ab = measure_backend_ab(kernel_reps)
+    after["trace_dfs_s"] = ab["trace_dfs_s"]
+    after["trace_pointer_s"] = ab["trace_pointer_s"]
     after["pool_nosimp_wall_s"] = measure_compute_wall("shm", e2e_reps)
     after["transport"] = "shm"
     before = dict(PRE_PR_BASELINE)
@@ -195,6 +231,7 @@ def collect_before_after(
     speedup["compute_stage_end_to_end"] = (
         before["pool_nosimp_wall_s"] / after["pool_nosimp_wall_s"]
     )
+    speedup["tracing_backend_ab"] = ab["tracing_backend_ab"]
     return {
         "field": "gaussian_bumps 24^3, 8 bumps, seed 1, noise 0.005",
         "harness": {
@@ -232,13 +269,39 @@ def bench_kernel_before_after_json(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
 
+def run_smoke() -> dict:
+    """Scaled-down single-rep CI pass: every timer must fire, and the
+    two tracing backends must produce identical complexes."""
+    res = measure_kernels(reps=1)
+    res.update(measure_backend_ab(reps=1))
+    for k, v in res.items():
+        assert np.isfinite(v) and v > 0, f"{k} produced {v!r}"
+    grad = compute_discrete_gradient(CubicalComplex(FIELD))
+    dfs = pack_complex(_cold_trace(grad, "dfs"))
+    pointer = pack_complex(_cold_trace(grad, "pointer"))
+    assert dfs == pointer, "tracing backends diverged on the bench field"
+    return res
+
+
 if __name__ == "__main__":
+    import argparse
     import json
     from pathlib import Path
 
-    record = collect_before_after()
-    out = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
-    out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out}")
-    for k, v in sorted(record["speedup"].items()):
-        print(f"  {k}: {v:.3f}x")
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="scaled-down single-rep CI pass; no JSON output")
+    args = ap.parse_args()
+
+    if args.smoke:
+        res = run_smoke()
+        print("kernel smoke ok (backends bit-identical):")
+        for k, v in sorted(res.items()):
+            print(f"  {k}: {v:.4f}{'x' if k.endswith('_ab') else 's'}")
+    else:
+        record = collect_before_after()
+        out = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {out}")
+        for k, v in sorted(record["speedup"].items()):
+            print(f"  {k}: {v:.3f}x")

@@ -27,8 +27,10 @@ Quickstart (the unified facade, see ``docs/API.md``)::
 Parallel execution — 8 virtual ranks merged radix-8, compute stage on a
 4-process worker pool (bit-identical to the serial run)::
 
-    result = compute(field, persistence=0.05, ranks=8, workers=4,
-                     merge_radix=8)
+    from repro import ExecutionOptions
+
+    result = compute(field, persistence=0.05, ranks=8, merge_radix=8,
+                     options=ExecutionOptions(workers=4))
     print(result.stats.describe())
 
 The lower-level entry points (``compute_morse_smale_complex`` for a bare
@@ -40,6 +42,7 @@ available below the facade.
 from repro import api, obs
 from repro.api import compute
 from repro.core.config import MergeSchedule, PipelineConfig
+from repro.core.options import ExecutionOptions
 from repro.core.pipeline import (
     ParallelMSComplexPipeline,
     compute_morse_smale_complex,
@@ -52,6 +55,7 @@ from repro.mesh.grid import StructuredGrid
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExecutionOptions",
     "MergeSchedule",
     "MorseSmaleComplex",
     "ParallelMSComplexPipeline",

@@ -30,36 +30,45 @@ aliases (``persistence``, ``blocks``, ``procs``) are deprecated and emit
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Sequence
+from typing import Any
 
 import numpy as np
 
 from repro.core.config import PipelineConfig
+from repro.core.options import ExecutionOptions
 from repro.core.pipeline import ParallelMSComplexPipeline
 from repro.core.result import PipelineResult
 from repro.io.volume import VolumeSpec
 from repro.mesh.grid import StructuredGrid
 
-__all__ = ["compute"]
+__all__ = ["ExecutionOptions", "compute"]
+
+#: "keyword not passed" marker for the deprecated flat execution
+#: keywords (several have meaningful defaults, including ``None``)
+_UNSET: Any = object()
 
 
 def compute(
     values: np.ndarray | StructuredGrid | VolumeSpec,
     *,
     persistence: float = 0.0,
-    workers: int = 1,
     ranks: int = 1,
-    transport: str = "auto",
-    merge_executor: str = "auto",
     merge_radix: int | Sequence[int] | str = 2,
     validate: bool = False,
-    block_timeout: float | None = None,
-    max_retries: int = 2,
-    retry_backoff: float = 0.05,
-    degrade_on_failure: bool = True,
+    options: ExecutionOptions | None = None,
     faults: object | None = None,
     trace: bool = False,
     metrics: bool = False,
+    workers: int = _UNSET,
+    transport: str = _UNSET,
+    merge_executor: str = _UNSET,
+    kernel_backend: str = _UNSET,
+    block_timeout: float | None = _UNSET,
+    max_retries: int = _UNSET,
+    retry_backoff: float = _UNSET,
+    degrade_on_failure: bool = _UNSET,
 ) -> PipelineResult:
     """Compute the Morse-Smale complex of a scalar field.
 
@@ -73,10 +82,6 @@ def compute(
         path).
     persistence:
         Simplification threshold (absolute function-value difference).
-    workers:
-        Shared-memory worker-pool width for the compute stage; ``1``
-        runs in-process, ``> 1`` fans blocks out over OS processes.
-        Purely a scheduling choice — results are bit-identical.
     ranks:
         Number of virtual MPI processes / decomposition blocks (a power
         of two, per the paper's bisection).  ``1`` computes a single
@@ -87,35 +92,15 @@ def compute(
         explicit sequence of radices runs a custom (possibly partial)
         schedule; ``"none"`` skips merging and leaves ``ranks`` output
         blocks.
-    transport:
-        How block vertex data reaches pool workers: ``"pickle"`` ships
-        each block's subarray by value, ``"shm"`` publishes the volume
-        once into POSIX shared memory and ships only a tiny handle per
-        block (zero-copy), ``"auto"`` (default) picks ``"shm"``
-        exactly when the compute stage runs on a process pool.
-        Results are bit-identical on either transport.
-    merge_executor:
-        Merge-stage backend: ``"serial"`` performs each group-root merge
-        inside its virtual rank; ``"pool"`` precomputes each round's
-        independent merges on the worker pool and the ranks adopt the
-        results; ``"auto"`` (default) pools exactly when the compute
-        stage runs on a process pool.  Deterministic merging makes the
-        two backends bit-identical, virtual clock included.
     validate:
         Run structural invariant checks after every stage (slow).
-    block_timeout:
-        Per-block compute timeout in seconds (process executor only);
-        ``None`` waits forever.  Timed-out blocks are retried.
-    max_retries:
-        Extra attempts a failed block (or root merge) gets before the
-        run degrades to serial execution or errors out readably.
-    retry_backoff:
-        Base of the exponential backoff between attempts; ``0`` retries
-        immediately.
-    degrade_on_failure:
-        Fall back to the in-process serial executor when the worker
-        pool is unhealthy (recorded in ``result.stats.faults``) instead
-        of raising.
+    options:
+        The run's execution knobs, grouped: an
+        :class:`~repro.core.options.ExecutionOptions` bundling
+        ``workers``, ``executor``, ``merge_executor``, ``transport``,
+        ``kernel_backend`` and the fault-handling settings
+        (timeout/retry/degrade).  Every field is pure scheduling —
+        results are bit-identical across all settings.
     faults:
         Optional :class:`repro.parallel.faults.FaultPlan` injecting
         deterministic failures — the chaos-testing hook.
@@ -128,6 +113,12 @@ def compute(
     metrics:
         Aggregate run metrics (counters / gauges / histograms across
         all workers) into ``result.stats.metrics``.
+    workers, transport, merge_executor, kernel_backend, block_timeout, \
+    max_retries, retry_backoff, degrade_on_failure:
+        Deprecated flat spellings of the corresponding
+        :class:`~repro.core.options.ExecutionOptions` fields; accepted
+        with a :class:`DeprecationWarning` for one release.  Passing a
+        knob both flat and via ``options=`` is a :class:`TypeError`.
 
     Returns
     -------
@@ -136,10 +127,37 @@ def compute(
         every routing — serial runs included — so downstream code never
         branches on how the result was produced.
     """
+    flat = {
+        name: value
+        for name, value in (
+            ("workers", workers),
+            ("transport", transport),
+            ("merge_executor", merge_executor),
+            ("kernel_backend", kernel_backend),
+            ("block_timeout", block_timeout),
+            ("max_retries", max_retries),
+            ("retry_backoff", retry_backoff),
+            ("degrade_on_failure", degrade_on_failure),
+        )
+        if value is not _UNSET
+    }
+    if flat:
+        names = ", ".join(sorted(flat))
+        if options is not None:
+            raise TypeError(
+                f"compute() got both options= and the flat execution "
+                f"keyword(s) {names}"
+            )
+        warnings.warn(
+            f"the flat execution keyword(s) {names} of repro.compute() "
+            "are deprecated; pass options=ExecutionOptions(...) instead "
+            "(see docs/API.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    opts = options if options is not None else ExecutionOptions(**flat)
     if ranks < 1:
         raise ValueError("ranks must be >= 1")
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
     if isinstance(merge_radix, (int, np.integer)):
         if merge_radix not in (2, 4, 8):
             raise ValueError("merge_radix must be 2, 4, or 8")
@@ -162,16 +180,10 @@ def compute(
         merge_radices=radices if ranks > 1 else "none",
         max_radix=max_radix,
         validate=validate,
-        workers=workers,
         # ranks == workers == 1 is the serial path: single block, no
         # pool, no merge rounds; anything else runs the full pipeline
-        executor="serial" if workers == 1 else "process",
-        merge_executor=merge_executor,
-        transport=transport,
-        block_timeout=block_timeout,
-        max_retries=max_retries,
-        retry_backoff=retry_backoff,
-        degrade_on_failure=degrade_on_failure,
+        # (the default executor="auto" resolves exactly that way)
+        options=opts,
         faults=faults,
         trace=trace,
         metrics=metrics,

@@ -113,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "over the worker pool (default: auto — pool "
                         "exactly when the compute stage does; results "
                         "are bit-identical either way)")
+    c.add_argument("--kernel-backend", default="auto",
+                   choices=("auto", "dfs", "pointer"),
+                   help="V-path tracing backend: dfs traces each path "
+                        "depth-first, pointer compresses descents with "
+                        "vectorized pointer jumping (default: auto — "
+                        "pointer exactly when the block is large enough "
+                        "to amortize the whole-array passes; results "
+                        "are bit-identical either way)")
     c.add_argument("--persistence", type=float, default=0.0,
                    help="simplification threshold")
     c.add_argument("--block-timeout", type=float, default=None,
@@ -169,7 +177,7 @@ def _fail(message: str) -> int:
 def _cmd_compute(args) -> int:
     import os
 
-    from repro.core.config import PipelineConfig
+    from repro.core.config import ExecutionOptions, PipelineConfig
     from repro.core.pipeline import ParallelMSComplexPipeline
     from repro.io.volume import VolumeSpec
     from repro.parallel.executor import FaultToleranceError
@@ -200,14 +208,17 @@ def _cmd_compute(args) -> int:
             num_procs=args.procs,
             persistence_threshold=args.persistence,
             merge_radices=radices,
-            workers=args.workers,
-            executor=args.executor,
-            merge_executor=args.merge_executor,
-            transport=args.transport,
-            block_timeout=args.block_timeout,
-            max_retries=args.max_retries,
-            retry_backoff=args.retry_backoff,
-            degrade_on_failure=not args.no_degrade,
+            options=ExecutionOptions(
+                workers=args.workers,
+                executor=args.executor,
+                merge_executor=args.merge_executor,
+                transport=args.transport,
+                kernel_backend=args.kernel_backend,
+                block_timeout=args.block_timeout,
+                max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff,
+                degrade_on_failure=not args.no_degrade,
+            ),
             trace=args.trace is not None,
             metrics=args.metrics is not None,
         )

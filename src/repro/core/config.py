@@ -8,23 +8,29 @@ shared-memory execution backend of the compute stage.
 
 from __future__ import annotations
 
+import dataclasses
 import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from typing import Any
 
+from repro.core.options import (
+    BACKEND_KNOB_KINDS,
+    MERGE_EXECUTOR_KINDS,
+    ExecutionOptions,
+    validate_choice,
+)
 from repro.machine.bgp import BlueGenePParams
-from repro.parallel.executor import EXECUTOR_KINDS, RetryPolicy
+from repro.parallel.executor import RetryPolicy
 from repro.parallel.radixk import MergeSchedule, full_merge_radices
-from repro.parallel.transport import TRANSPORT_KINDS
 
-__all__ = ["MERGE_EXECUTOR_KINDS", "PipelineConfig", "MergeSchedule"]
-
-#: merge-stage backend choices: "serial" runs root merges inside the
-#: virtual ranks, "pool" fans each round's independent merges over the
-#: worker pool, "auto" pools exactly when the compute stage does
-MERGE_EXECUTOR_KINDS = ("auto", "serial", "pool")
+__all__ = [
+    "MERGE_EXECUTOR_KINDS",
+    "ExecutionOptions",
+    "PipelineConfig",
+    "MergeSchedule",
+]
 
 
 @dataclass
@@ -87,6 +93,13 @@ class PipelineConfig:
         retries re-read from the segment).  ``"auto"`` (default) picks
         ``"shm"`` exactly when the compute stage runs on a process
         pool.  Results are bit-identical on either transport.
+    kernel_backend:
+        V-path tracing backend inside each block's compute: ``"dfs"``
+        (the per-path depth-first tracer), ``"pointer"`` (the
+        vectorized pointer-jumping tracer), or ``"auto"`` (default;
+        pointer exactly when the block is large enough to amortize the
+        whole-array passes, see :mod:`repro.morse.tracing`).  The
+        constructed complex is bit-identical on either backend.
     block_timeout:
         Per-block compute timeout in seconds, enforced on the process
         backend; ``None`` (default) waits forever.  A timed-out block is
@@ -119,9 +132,12 @@ class PipelineConfig:
         :mod:`repro.obs.metrics`).  Off by default; outputs are
         bit-identical either way.
 
-    Deprecated keyword aliases ``persistence`` (for
-    ``persistence_threshold``), ``blocks`` (``num_blocks``) and
-    ``procs`` (``num_procs``) are accepted with a
+    The execution knobs (``workers`` through ``max_pool_restarts``) may
+    equivalently be passed grouped, as
+    ``PipelineConfig(..., options=ExecutionOptions(...))``; passing a
+    knob both ways is a :class:`TypeError`.  Deprecated keyword aliases
+    ``persistence`` (for ``persistence_threshold``), ``blocks``
+    (``num_blocks``) and ``procs`` (``num_procs``) are accepted with a
     :class:`DeprecationWarning` for one release; new code should use the
     canonical names or the :func:`repro.api.compute` facade.
     """
@@ -139,6 +155,7 @@ class PipelineConfig:
     executor: str = "auto"
     merge_executor: str = "auto"
     transport: str = "auto"
+    kernel_backend: str = "auto"
     block_timeout: float | None = None
     max_retries: int = 2
     retry_backoff: float = 0.05
@@ -162,21 +179,11 @@ class PipelineConfig:
                 )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
-        if self.executor not in EXECUTOR_KINDS:
-            raise ValueError(
-                f"executor must be one of {EXECUTOR_KINDS}, "
-                f"got {self.executor!r}"
-            )
-        if self.merge_executor not in MERGE_EXECUTOR_KINDS:
-            raise ValueError(
-                f"merge_executor must be one of {MERGE_EXECUTOR_KINDS}, "
-                f"got {self.merge_executor!r}"
-            )
-        if self.transport not in TRANSPORT_KINDS:
-            raise ValueError(
-                f"transport must be one of {TRANSPORT_KINDS}, "
-                f"got {self.transport!r}"
-            )
+        # all backend knobs fail early, at config construction, with
+        # the uniform "choose one of {...}" error — never deep inside
+        # the pipeline
+        for name, kinds in BACKEND_KNOB_KINDS.items():
+            validate_choice(name, getattr(self, name), kinds)
         # RetryPolicy validates the fault-tolerance knobs; fail at
         # config-construction time, not mid-pipeline
         self.retry_policy()
@@ -228,6 +235,21 @@ class PipelineConfig:
             return "shm" if self.resolved_executor == "process" else "pickle"
         return self.transport
 
+    @property
+    def execution_options(self) -> ExecutionOptions:
+        """The execution knobs of this config, as one grouped value.
+
+        ``kernel_backend="auto"`` is *not* resolved here: the pointer /
+        dfs choice is made per block, by size, inside
+        :func:`repro.morse.tracing.extract_ms_complex`.
+        """
+        return ExecutionOptions(
+            **{
+                name: getattr(self, name)
+                for name in _OPTION_FIELD_NAMES
+            }
+        )
+
     def resolve_radices(self) -> list[int]:
         """Concrete list of merge-round radices."""
         if self.merge_radices == "none":
@@ -246,10 +268,29 @@ _FIELD_ALIASES = {
     "procs": "num_procs",
 }
 
+#: PipelineConfig fields ExecutionOptions groups (names match 1:1)
+_OPTION_FIELD_NAMES = tuple(
+    f.name for f in dataclasses.fields(ExecutionOptions)
+)
+
 _dataclass_init = PipelineConfig.__init__
 
 
 def _init_with_aliases(self, *args, **kwargs):
+    options = kwargs.pop("options", None)
+    if options is not None:
+        if not isinstance(options, ExecutionOptions):
+            raise TypeError(
+                "PipelineConfig(options=...) expects an "
+                f"ExecutionOptions, got {type(options).__name__}"
+            )
+        for name in _OPTION_FIELD_NAMES:
+            if name in kwargs:
+                raise TypeError(
+                    f"PipelineConfig() got both options= and the flat "
+                    f"keyword {name!r}"
+                )
+            kwargs[name] = getattr(options, name)
     for alias, canonical in _FIELD_ALIASES.items():
         if alias in kwargs:
             if canonical in kwargs:

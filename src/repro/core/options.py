@@ -1,0 +1,135 @@
+"""The grouped execution-options surface of the public API.
+
+The pipeline has grown a family of *execution* knobs — how the work is
+scheduled (worker pool, transports, per-stage backends) and how failures
+are handled (timeouts, retries, degradation) — that are pure scheduling:
+none of them changes the computed complex by a single byte.  They are
+grouped here into one frozen dataclass, :class:`ExecutionOptions`, so
+the public entry points take a single ``options=`` argument instead of
+a dozen flat keywords, and so every backend knob is validated in one
+place with one readable error shape (``choose one of {...}``) at
+configuration time rather than deep inside the pipeline.
+
+::
+
+    import repro
+    from repro.core.options import ExecutionOptions
+
+    opts = ExecutionOptions(workers=4, transport="shm",
+                            kernel_backend="pointer")
+    result = repro.compute(field, persistence=0.05, ranks=8,
+                           options=opts)
+
+The flat keyword spellings (``repro.compute(..., workers=4)``) keep
+working for one release behind a :class:`DeprecationWarning`; see
+``docs/API.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from repro.morse.tracing import KERNEL_BACKENDS
+from repro.parallel.executor import EXECUTOR_KINDS
+from repro.parallel.transport import TRANSPORT_KINDS
+
+__all__ = [
+    "MERGE_EXECUTOR_KINDS",
+    "ExecutionOptions",
+    "validate_choice",
+]
+
+#: merge-stage backend choices: "serial" runs root merges inside the
+#: virtual ranks, "pool" fans each round's independent merges over the
+#: worker pool, "auto" pools exactly when the compute stage does
+MERGE_EXECUTOR_KINDS = ("auto", "serial", "pool")
+
+#: every backend knob, its allowed values, in one table — the single
+#: source the config/CLI validation and the docs knob tables read
+BACKEND_KNOB_KINDS = {
+    "executor": EXECUTOR_KINDS,
+    "merge_executor": MERGE_EXECUTOR_KINDS,
+    "transport": TRANSPORT_KINDS,
+    "kernel_backend": KERNEL_BACKENDS,
+}
+
+
+def validate_choice(name: str, value: object, kinds: tuple[str, ...]) -> None:
+    """Raise the uniform readable error for an invalid knob value.
+
+    All backend knobs (``executor``, ``merge_executor``, ``transport``,
+    ``kernel_backend``) fail with the same shape at configuration time::
+
+        invalid transport 'smh': choose one of {auto, pickle, shm}
+    """
+    if value not in kinds:
+        raise ValueError(
+            f"invalid {name} {value!r}: choose one of "
+            f"{{{', '.join(kinds)}}}"
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionOptions:
+    """How one pipeline run executes — scheduling and fault handling.
+
+    Every field is a pure scheduling choice: results are bit-identical
+    across all settings.  Accepted by :func:`repro.api.compute` and
+    :class:`repro.core.config.PipelineConfig` as ``options=``; field
+    names match the flat ``PipelineConfig`` fields one-to-one.
+
+    Parameters
+    ----------
+    workers:
+        Width of the shared-memory worker pool the compute stage runs
+        on; ``1`` (default) computes blocks serially in-process.
+    executor:
+        Compute-stage backend: ``"auto"`` (worker pool exactly when
+        ``workers > 1``), ``"serial"``, or ``"process"``.
+    merge_executor:
+        Merge-stage backend: ``"serial"``, ``"pool"``, or ``"auto"``
+        (pool exactly when the compute stage resolves to a pool).
+    transport:
+        Block-data transport to pool workers: ``"pickle"``, ``"shm"``,
+        or ``"auto"`` (shm exactly when a process pool runs).
+    kernel_backend:
+        V-path tracing backend: ``"dfs"`` (per-path depth-first),
+        ``"pointer"`` (vectorized pointer jumping), or ``"auto"``
+        (by block size; see :mod:`repro.morse.tracing`).
+    block_timeout:
+        Per-block compute timeout in seconds (process executor);
+        ``None`` waits forever.  Timed-out blocks are retried.
+    max_retries:
+        Extra attempts a failed block (or root merge) gets before the
+        run degrades or errors out.
+    retry_backoff:
+        Base of the exponential backoff between attempts; ``0`` retries
+        immediately.
+    degrade_on_failure:
+        Fall back to in-process serial execution when the worker pool
+        is unhealthy, instead of failing the run.
+    max_pool_restarts:
+        Worker-pool rebuilds tolerated before declaring the pool
+        unhealthy.
+    """
+
+    workers: int = 1
+    executor: str = "auto"
+    merge_executor: str = "auto"
+    transport: str = "auto"
+    kernel_backend: str = "auto"
+    block_timeout: float | None = None
+    max_retries: int = 2
+    retry_backoff: float = 0.05
+    degrade_on_failure: bool = True
+    max_pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        for name, kinds in BACKEND_KNOB_KINDS.items():
+            validate_choice(name, getattr(self, name), kinds)
+
+    def to_kwargs(self) -> dict:
+        """The options as flat ``PipelineConfig`` keyword arguments."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -116,6 +116,7 @@ def compute_morse_smale_complex(
     persistence_threshold: float = 0.0,
     simplify: bool = True,
     validate: bool = False,
+    kernel_backend: str = "auto",
 ) -> MorseSmaleComplex:
     """Serial MS complex of a scalar field (single block, no merging).
 
@@ -155,7 +156,7 @@ def compute_morse_smale_complex(
     if validate:
         assert_gradient_field_valid(field)
         assert_acyclic(field)
-    msc = extract_ms_complex(field)
+    msc = extract_ms_complex(field, kernel_backend=kernel_backend)
     if simplify:
         simplify_ms_complex(
             msc, persistence_threshold, respect_boundary=False
@@ -190,6 +191,9 @@ class BlockSpec:
     persistence_threshold: float
     simplify_at_zero_persistence: bool
     validate: bool
+    #: V-path tracing backend ({auto, dfs, pointer}); pure scheduling,
+    #: the block payload bytes are identical on either backend
+    kernel_backend: str = "auto"
     values: np.ndarray | None = None
     volume: VolumeSpec | None = None
     shm: SharedVolumeHandle | None = None
@@ -295,7 +299,9 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
                 if spec.validate:
                     assert_gradient_field_valid(gradient)
                     assert_acyclic(gradient)
-                msc = extract_ms_complex(gradient)
+                msc = extract_ms_complex(
+                    gradient, kernel_backend=spec.kernel_backend
+                )
             with tracer.span("compute.simplify", cat="compute") as simp:
                 geometry_traced = msc.total_geometry_length()
                 crit_counts = gradient.critical_counts()
@@ -466,6 +472,7 @@ class ParallelMSComplexPipeline:
                         cfg.simplify_at_zero_persistence
                     ),
                     validate=cfg.validate,
+                    kernel_backend=cfg.kernel_backend,
                     values=values,
                     volume=volume,
                     shm=shm,

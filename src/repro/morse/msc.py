@@ -301,42 +301,64 @@ class MorseSmaleComplex:
         total = len(lowers)
         if total == 0:
             return
-        node_index = self.node_index
-        pos = 0
-        for upper, k in zip(uppers, counts):
-            li = node_index[upper] - 1
-            for lower in lowers[pos:pos + k]:
-                if node_index[lower] != li:
-                    raise ValueError(
-                        "arc endpoints must differ in Morse index by "
-                        f"exactly 1 (got {li + 1} and "
-                        f"{node_index[lower]})"
-                    )
-            pos += k
-        aid = len(self.arc_upper)
+        # whole-batch validation and grouping run as numpy passes: the
+        # per-arc python work below is O(distinct endpoints), not
+        # O(arcs), which keeps record building off the tracing-kernel
+        # critical path for both backends
+        node_index = np.asarray(self.node_index, dtype=np.int64)
+        up = np.asarray(uppers, dtype=np.int64)
+        cnt = np.asarray(counts, dtype=np.int64)
+        low = np.asarray(lowers, dtype=np.int64)
+        rep_up = np.repeat(up, cnt)
+        li = node_index[rep_up] - 1
+        bad = np.flatnonzero(node_index[low] != li)
+        if bad.size:
+            i = int(bad[0])
+            raise ValueError(
+                "arc endpoints must differ in Morse index by "
+                f"exactly 1 (got {int(li[i]) + 1} and "
+                f"{int(node_index[low[i]])})"
+            )
+        aid0 = len(self.arc_upper)
         gid = len(self.geoms)
-        self.geoms.extend(
-            ArcGeometry(leaf=leaf, length=leaf.size) for leaf in leaves
-        )
+        geoms = self.geoms
+        geoms_append = geoms.append
+        new = ArcGeometry.__new__
+        for leaf in leaves:
+            g = new(ArcGeometry)
+            g.leaf = leaf
+            g.segments = None
+            g.length = leaf.size
+            geoms_append(g)
+        self.arc_upper.extend(rep_up.tolist())
         self.arc_lower.extend(lowers)
         self.arc_geom.extend(range(gid, gid + total))
         self.arc_alive.extend([True] * total)
-        arc_upper = self.arc_upper
         node_arcs = self.node_arcs
+        aid_start = aid0 + np.cumsum(cnt) - cnt
+        for upper, k, a0 in zip(uppers, counts, aid_start.tolist()):
+            if k:
+                node_arcs[upper].extend(range(a0, a0 + k))
+        # group per-lower incident-arc appends; the stable sort keeps
+        # each lower's aids in the increasing order repeated appends
+        # would have produced
+        order = np.argsort(low, kind="stable")
+        low_s = low[order]
+        aid_s = (aid0 + order).tolist()
+        starts = np.flatnonzero(np.r_[True, low_s[1:] != low_s[:-1]])
+        bounds = np.append(starts, total).tolist()
+        low_u = low_s[starts].tolist()
+        for lower, s, e in zip(low_u, bounds, bounds[1:]):
+            node_arcs[lower].extend(aid_s[s:e])
+        # per-(upper, lower) multiplicity, accumulated per distinct pair
+        lo = np.minimum(rep_up, low)
+        hi = np.maximum(rep_up, low)
+        combo, pair_n = np.unique(lo << 32 | hi, return_counts=True)
         mult = self.pair_multiplicity
         mult_get = mult.get
-        pos = 0
-        for upper, k in zip(uppers, counts):
-            if k == 0:
-                continue
-            arc_upper.extend([upper] * k)
-            node_arcs[upper].extend(range(aid, aid + k))
-            for lower in lowers[pos:pos + k]:
-                node_arcs[lower].append(aid)
-                key = (upper, lower) if upper < lower else (lower, upper)
-                mult[key] = mult_get(key, 0) + 1
-                aid += 1
-            pos += k
+        for c, n in zip(combo.tolist(), pair_n.tolist()):
+            key = (c >> 32, c & 0xFFFFFFFF)
+            mult[key] = mult_get(key, 0) + n
 
     def multiplicity(self, u: int, v: int) -> int:
         """Number of living arcs between two living nodes."""

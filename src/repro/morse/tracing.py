@@ -15,19 +15,38 @@ an arc.  Because the gradient field is acyclic, the enumeration always
 terminates; distinct paths between the same pair of critical cells yield
 distinct arcs (arc multiplicity matters for cancellation validity).
 
-Implementation notes
+Two tracing backends
 --------------------
-The DFS allocates nothing per frame and touches two lookup tables per
-step, both built *vectorized* once per field: ``cont[alpha]`` resolves
-a candidate cell in one list access (its head-cell partner if the path
-continues, ``CONT_CRITICAL`` if it ends an arc, ``CONT_DEAD`` if it is
-the head of a lower vector), and ``ckey[alpha]`` indexes the memoized
-``trace_facets`` table with the head cell's continuation facets (all
-but the arrival facet).  Frames are parallel int stacks instead of
-per-frame iterators, and unbranched descent (head cells with a single
-continuation — every 1-cell head) runs in an inline chain loop with no
-stack traffic at all.  The enumeration order is exactly the old
-per-frame loop's, so the constructed complex is bit-identical.
+Both backends consume the same flat continuation arrays
+(:meth:`~repro.morse.vectorfield.GradientField.continuation_tables`)
+and construct **bit-identical** complexes; the ``kernel_backend`` knob
+(``{auto, dfs, pointer}``) selects one per field.
+
+``dfs``
+    The per-path depth-first tracer.  The DFS allocates nothing per
+    frame and touches two lookup tables per step: ``cont[alpha]``
+    resolves a candidate cell in one list access and ``ckey[alpha]``
+    indexes the memoized ``trace_facets`` table with the head cell's
+    continuation facets.  Frames are parallel int stacks, and unbranched
+    descent runs in an inline chain loop with no stack traffic.  Fastest
+    on small fields, where whole-array passes cannot amortize.
+
+``pointer``
+    The vectorized pointer-jumping tracer (after the GPU MS-complex and
+    distributed path-compression formulations, arXiv:2009.03707 /
+    2409.03771).  Unbranched runs of the descent are compressed with
+    iterated pointer doubling — O(log L) whole-array numpy passes build
+    a jump table from every cell to the end of its unbranched chain —
+    and the remaining branch/emit points are expanded level-
+    synchronously as whole-frontier array passes.  Exact DFS enumeration
+    order is reconstructed with a leaf-counting backward pass and a
+    segmented-prefix-sum forward pass over the branching forest, and
+    arc geometry is materialized with a vectorized chain walk.  Fastest
+    on production-sized fields.
+
+``auto``
+    Picks ``pointer`` exactly when the field has at least
+    :data:`AUTO_POINTER_MIN_CELLS` cells, ``dfs`` otherwise.
 """
 
 from __future__ import annotations
@@ -35,49 +54,67 @@ from __future__ import annotations
 import numpy as np
 
 from repro.morse.msc import MorseSmaleComplex
-from repro.morse.vectorfield import CRITICAL, GradientField
+from repro.morse.vectorfield import (
+    CONT_CRITICAL,
+    CONT_DEAD,
+    GradientField,
+)
 from repro.obs.trace import get_tracer
 
-__all__ = ["extract_ms_complex", "trace_down"]
+__all__ = [
+    "AUTO_POINTER_MIN_CELLS",
+    "KERNEL_BACKENDS",
+    "extract_ms_complex",
+    "resolve_kernel_backend",
+    "trace_down",
+]
 
-#: continuation-table markers (must be negative: real cells are >= 0)
-CONT_CRITICAL = -2
-CONT_DEAD = -1
+#: tracing-backend choices: "dfs" runs the per-path depth-first tracer,
+#: "pointer" the vectorized pointer-jumping tracer, "auto" picks by
+#: field size (see :func:`resolve_kernel_backend`)
+KERNEL_BACKENDS = ("auto", "dfs", "pointer")
+
+#: smallest cell count for which ``kernel_backend="auto"`` selects the
+#: pointer backend; below it the whole-array passes cannot amortize
+#: their setup and the DFS wins (measured on the bench field, see
+#: ``benchmarks/bench_kernels.py``)
+AUTO_POINTER_MIN_CELLS = 12288
+
+
+def resolve_kernel_backend(backend: str, field: GradientField) -> str:
+    """Concrete tracing backend for ``field`` after resolving ``auto``."""
+    if backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"invalid kernel_backend {backend!r}: choose one of "
+            f"{{{', '.join(KERNEL_BACKENDS)}}}"
+        )
+    if backend == "auto":
+        return (
+            "pointer"
+            if field.complex.num_cells >= AUTO_POINTER_MIN_CELLS
+            else "dfs"
+        )
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# the per-path DFS backend
+# ---------------------------------------------------------------------------
 
 
 def _trace_state(field: GradientField):
-    """Per-field hot-loop state, built once and cached on the field.
+    """Per-field DFS hot-loop state, built once and cached on the field.
 
-    Returns ``(cont, ckey, ctab, facet_offsets, celltype)`` where for
-    every cell ``alpha`` reachable as a descent candidate:
-
-    - ``cont[alpha]`` is the padded index of the head cell the path
-      continues through, or ``CONT_CRITICAL`` / ``CONT_DEAD``;
-    - ``ckey[alpha]`` indexes ``ctab`` (the flattened memoized
-      ``trace_facets`` table) with the head cell's continuation facet
-      offsets — its facets minus the one leading back to ``alpha``.
+    Returns ``(cont, ckey, ctab, facet_offsets, celltype)``: the
+    continuation tables of
+    :meth:`~repro.morse.vectorfield.GradientField.continuation_tables`
+    as plain lists (one list access per DFS step), the flattened
+    memoized ``trace_facets`` table, and the per-cell type table.
     """
     state = getattr(field, "_trace_state", None)
     if state is None:
         cx = field.complex
-        pairing = field.pairing
-        n = cx.num_padded
-        offs = np.asarray(field.dir_offsets, dtype=np.int64)
-
-        cont = np.full(n, CONT_DEAD, dtype=np.int64)
-        cont[pairing == CRITICAL] = CONT_CRITICAL
-        paired = np.flatnonzero(cx.valid & (pairing < CRITICAL))
-        partner = paired + offs[pairing[paired]]
-        # the path continues only through tails (partner one dim up);
-        # heads of lower vectors stay CONT_DEAD
-        tails = cx.cell_dim[partner] == cx.cell_dim[paired] + 1
-        cont[paired[tails]] = partner[tails]
-
-        ckey = np.zeros(n, dtype=np.int64)
-        ckey[paired[tails]] = (
-            cx.celltype[partner[tails]].astype(np.int64) * 6
-            + pairing[paired[tails]]
-        )
+        cont, ckey = field.continuation_tables()
         ctab = tuple(
             cands
             for per_type in cx.tables.trace_facets
@@ -94,14 +131,23 @@ def _trace_state(field: GradientField):
     return state
 
 
-def trace_down(field: GradientField, crit: int) -> list[list[int]]:
+def trace_down(
+    field: GradientField, crit: int, kernel_backend: str = "dfs"
+) -> list[list[int]]:
     """Enumerate descending V-paths from critical cell ``crit``.
 
     Returns one path per descending V-path that terminates at a critical
     cell; each path is the list of padded cell indices from ``crit``
     (inclusive) down to the terminating critical cell (inclusive).
+    ``kernel_backend`` selects the tracer (both enumerate identically;
+    the default DFS is fastest for a single source).
     """
-    flat, lens, _ = _trace_down_flat(field, crit)
+    backend = resolve_kernel_backend(kernel_backend, field)
+    if backend == "pointer":
+        flat, lens, _, _ = _trace_down_many_pointer(field, [crit])
+        flat = flat.tolist()
+    else:
+        flat, lens, _ = _trace_down_flat(field, crit)
     results: list[list[int]] = []
     pos = 0
     for length in lens:
@@ -216,9 +262,381 @@ def _trace_down_many(
     return flat, lens, terminals, counts
 
 
+# ---------------------------------------------------------------------------
+# the vectorized pointer-jumping backend
+# ---------------------------------------------------------------------------
+
+#: safety bound on pointer-doubling rounds (2^64 chain steps is
+#: impossible; hitting it means the gradient field is cyclic/corrupt)
+_MAX_DOUBLING_ROUNDS = 64
+
+
+class _PointerState:
+    """Per-field flat tables of the pointer-jumping tracer.
+
+    Built with whole-array numpy passes once per field and cached
+    (``field._pointer_state``); holds the shared continuation arrays,
+    the flattened candidate tables, and the chain-compression jump
+    table produced by pointer doubling:
+
+    - ``chain_next[alpha]`` — the unique continuation of an *unbranched,
+      non-emitting* descent step through ``alpha`` (its head has exactly
+      one live candidate and none critical), else ``-1``;
+    - ``jump[alpha]`` / ``dist[alpha]`` — the first branch/emit/terminal
+      cell reached by following ``chain_next`` from ``alpha``, and the
+      number of chain steps to it (0 for non-chain cells).
+    """
+
+    __slots__ = (
+        "cont", "ckey", "chain_next", "jump", "dist",
+        "cand_flat", "cand_start", "cand_len",
+        "ftab_flat", "fstart", "flen", "celltype",
+        "doubling_rounds",
+    )
+
+    def __init__(self, field: GradientField) -> None:
+        cx = field.complex
+        cont, ckey = field.continuation_tables()
+        n = cx.num_padded
+        self.cont = cont
+        self.ckey = ckey
+        self.celltype = cx.celltype.astype(np.int64)
+
+        # flattened continuation-facet table (key = celltype*6 + code)
+        cand_lists = [
+            per_code
+            for per_type in cx.tables.trace_facets
+            for per_code in per_type
+        ]
+        self.cand_len = np.array(
+            [len(c) for c in cand_lists], dtype=np.int64
+        )
+        self.cand_start = np.zeros(len(cand_lists) + 1, dtype=np.int64)
+        np.cumsum(self.cand_len, out=self.cand_start[1:])
+        self.cand_flat = np.array(
+            [off for c in cand_lists for off in c], dtype=np.int64
+        )
+
+        # flattened initial-candidate table (all facets, per celltype)
+        self.flen = np.array(
+            [len(f) for f in cx.facet_offsets], dtype=np.int64
+        )
+        self.fstart = np.zeros(len(cx.facet_offsets) + 1, dtype=np.int64)
+        np.cumsum(self.flen, out=self.fstart[1:])
+        self.ftab_flat = np.array(
+            [o for f in cx.facet_offsets for o in f], dtype=np.int64
+        )
+
+        # classify every continuing cell's step: enumerate its head's
+        # candidates once, field-wide, and mark the steps that neither
+        # branch nor emit an arc — the compressible chain cells
+        alphas = np.flatnonzero(cont >= 0)
+        chain_next = np.full(n, -1, dtype=np.int64)
+        if alphas.size:
+            key = ckey[alphas]
+            k = self.cand_len[key]
+            parent = np.repeat(np.arange(alphas.size, dtype=np.int64), k)
+            within = np.arange(int(k.sum()), dtype=np.int64) - np.repeat(
+                np.cumsum(k) - k, k
+            )
+            beta = cont[alphas][parent] + self.cand_flat[
+                np.repeat(self.cand_start[key], k) + within
+            ]
+            bc = cont[beta]
+            ncrit = np.bincount(
+                parent, weights=(bc == CONT_CRITICAL), minlength=alphas.size
+            )
+            nlive = np.bincount(
+                parent, weights=(bc >= 0), minlength=alphas.size
+            )
+            chain = (ncrit == 0) & (nlive == 1)
+            sel = (bc >= 0) & chain[parent]
+            chain_next[alphas[parent[sel]]] = beta[sel]
+        self.chain_next = chain_next
+
+        # pointer doubling: O(log L) whole-array passes compress every
+        # unbranched chain to (endpoint, length)
+        jump = np.arange(n, dtype=np.int64)
+        ischain = chain_next >= 0
+        jump[ischain] = chain_next[ischain]
+        dist = ischain.astype(np.int64)
+        rounds = 0
+        while np.any(ischain[jump]):
+            dist = dist + dist[jump]
+            jump = jump[jump]
+            rounds += 1
+            if rounds > _MAX_DOUBLING_ROUNDS:  # pragma: no cover
+                raise RuntimeError(
+                    "pointer doubling did not converge: the gradient "
+                    "field contains a cycle"
+                )
+        self.jump = jump
+        self.dist = dist
+        self.doubling_rounds = rounds
+
+
+def _pointer_state(field: GradientField) -> _PointerState:
+    state = getattr(field, "_pointer_state", None)
+    if state is None:
+        state = _PointerState(field)
+        field._pointer_state = state
+    return state
+
+
+def _trace_down_many_pointer(
+    field: GradientField,
+    sources,
+    max_paths_per_node: int | None = None,
+):
+    """Pointer-jumping equivalent of :func:`_trace_down_many`.
+
+    Returns the same ``(flat, lens, terminals, counts)`` contract with
+    ``flat`` as an int64 array and the rest as plain lists; every value
+    is identical to the DFS tracer's, enumeration order included.
+
+    The descent forest is expanded level-synchronously over *branch
+    points* only — unbranched runs between them were compressed into
+    single jumps by the per-field pointer doubling — and each level is
+    a handful of whole-frontier numpy passes.  DFS enumeration order
+    (lexicographic in the branch-choice sequence) is reconstructed
+    exactly: a backward pass counts the arcs below every forest entry,
+    a forward segmented-prefix-sum pass converts those counts into each
+    arc's absolute DFS position, and a vectorized chain walk fills the
+    geometric embeddings.
+    """
+    st = _pointer_state(field)
+    cont = st.cont
+    src = np.asarray(sources, dtype=np.int64)
+    nsrc = int(src.size)
+    empty = np.empty(0, dtype=np.int64)
+    if nsrc == 0:
+        return empty, [], [], []
+
+    tracer = get_tracer()
+
+    # ---- level-synchronous frontier expansion -------------------------
+    # Level 0 entries are the sources themselves; an entry at level
+    # l >= 1 is a branch/emit point, carrying the compressed chain
+    # segment that led to it: (seg = first cell of the segment,
+    # pairs = chain steps + 1 -> the segment contributes 2*pairs cells).
+    # Expanding a level yields terminal candidates (arcs) and the next
+    # level's entries; acyclicity bounds the level count.
+    ent_alpha = [src]                                  # expansion cell
+    ent_base = [src]                                   # candidate base
+    ent_seg = [src]
+    ent_pairs = [np.zeros(nsrc, dtype=np.int64)]
+    ent_parent = [np.full(nsrc, -1, dtype=np.int64)]
+    ent_rank = [np.zeros(nsrc, dtype=np.int64)]
+    ent_plen = [np.ones(nsrc, dtype=np.int64)]         # cells so far
+    arc_parent: list[np.ndarray] = []
+    arc_rank: list[np.ndarray] = []
+    arc_beta: list[np.ndarray] = []
+
+    with tracer.span("trace.pointer.expand", cat="kernel") as span:
+        level = 0
+        while ent_alpha[level].size:
+            alpha = ent_alpha[level]
+            if level == 0:
+                key = st.celltype[alpha]
+                k = st.flen[key]
+                starts = st.fstart[key]
+                tab = st.ftab_flat
+            else:
+                key = st.ckey[alpha]
+                k = st.cand_len[key]
+                starts = st.cand_start[key]
+                tab = st.cand_flat
+            parent = np.repeat(np.arange(alpha.size, dtype=np.int64), k)
+            rank = np.arange(int(k.sum()), dtype=np.int64) - np.repeat(
+                np.cumsum(k) - k, k
+            )
+            beta = ent_base[level][parent] + tab[
+                np.repeat(starts, k) + rank
+            ]
+            bc = cont[beta]
+
+            is_arc = bc == CONT_CRITICAL
+            arc_parent.append(parent[is_arc])
+            arc_rank.append(rank[is_arc])
+            arc_beta.append(beta[is_arc])
+
+            live = bc >= 0
+            seg = beta[live]
+            # compress the unbranched run from each live candidate to
+            # its first branch/emit point in one jump
+            alpha_star = st.jump[seg]
+            pairs = st.dist[seg] + 1
+            ent_alpha.append(alpha_star)
+            ent_base.append(cont[alpha_star])
+            ent_seg.append(seg)
+            ent_pairs.append(pairs)
+            ent_parent.append(parent[live])
+            ent_rank.append(rank[live])
+            ent_plen.append(
+                ent_plen[level][parent[live]] + 2 * pairs
+            )
+            level += 1
+        span.annotate(
+            levels=level,
+            doubling_rounds=st.doubling_rounds,
+            frontier_peak=int(max(e.size for e in ent_alpha)),
+        )
+
+    nlev = level  # levels 0 .. nlev-1 hold entries that were expanded
+    narcs = int(sum(a.size for a in arc_parent))
+    if narcs == 0:
+        return empty, [], [], [0] * nsrc
+
+    # ---- DFS-order reconstruction -------------------------------------
+    with tracer.span("trace.pointer.order", cat="kernel") as span:
+        # backward pass: arcs below every entry
+        nleaves: list[np.ndarray] = [empty] * nlev
+        for lv in range(nlev - 1, -1, -1):
+            cnt = np.bincount(
+                arc_parent[lv], minlength=ent_alpha[lv].size
+            ).astype(np.int64)
+            if lv + 1 < nlev:
+                cnt += np.bincount(
+                    ent_parent[lv + 1],
+                    weights=nleaves[lv + 1].astype(np.float64),
+                    minlength=ent_alpha[lv].size,
+                ).astype(np.int64)
+            nleaves[lv] = cnt
+        counts = nleaves[0]
+
+        # forward pass: absolute DFS position per arc.  Within a parent,
+        # items (arcs and child subtrees) are ordered by candidate rank;
+        # an exclusive segmented prefix sum of their subtree sizes turns
+        # the parent's absolute start into each item's.
+        start = np.cumsum(counts) - counts
+        arc_pos: list[np.ndarray] = []
+        for lv in range(nlev):
+            na = arc_parent[lv].size
+            if lv + 1 < nlev:
+                par = np.concatenate([arc_parent[lv], ent_parent[lv + 1]])
+                rnk = np.concatenate([arc_rank[lv], ent_rank[lv + 1]])
+                w = np.concatenate(
+                    [np.ones(na, dtype=np.int64), nleaves[lv + 1]]
+                )
+            else:
+                par = arc_parent[lv]
+                rnk = arc_rank[lv]
+                w = np.ones(na, dtype=np.int64)
+            if par.size == 0:
+                arc_pos.append(empty)
+                if lv + 1 < nlev:
+                    start = empty
+                continue
+            order = np.lexsort((rnk, par))
+            par_s = par[order]
+            w_s = w[order]
+            cw = np.cumsum(w_s) - w_s
+            newseg = np.empty(par_s.size, dtype=bool)
+            newseg[0] = True
+            np.not_equal(par_s[1:], par_s[:-1], out=newseg[1:])
+            segid = np.cumsum(newseg) - 1
+            pos_s = start[par_s] + (cw - cw[newseg][segid])
+            pos = np.empty(par.size, dtype=np.int64)
+            pos[order] = pos_s
+            arc_pos.append(pos[:na])
+            if lv + 1 < nlev:
+                start = pos[na:]
+
+        # gather all arcs into DFS order (arc positions are a
+        # permutation of 0..narcs-1, grouped by source)
+        all_pos = np.concatenate(arc_pos)
+        all_beta = np.concatenate(arc_beta)
+        all_parent = np.concatenate(arc_parent)
+        all_lev = np.concatenate(
+            [
+                np.full(arc_parent[lv].size, lv, dtype=np.int64)
+                for lv in range(nlev)
+            ]
+        )
+        all_len = np.concatenate(
+            [
+                ent_plen[lv][arc_parent[lv]] + 1
+                for lv in range(nlev)
+            ]
+        )
+        inv = np.empty(narcs, dtype=np.int64)
+        inv[all_pos] = np.arange(narcs, dtype=np.int64)
+        beta_d = all_beta[inv]
+        parent_d = all_parent[inv]
+        lev_d = all_lev[inv]
+        len_d = all_len[inv]
+
+        if max_paths_per_node is not None:
+            src_start = np.cumsum(counts) - counts
+            arc_src = np.repeat(np.arange(nsrc, dtype=np.int64), counts)
+            within_src = np.arange(narcs, dtype=np.int64) - src_start[arc_src]
+            keep = within_src < max_paths_per_node
+            beta_d = beta_d[keep]
+            parent_d = parent_d[keep]
+            lev_d = lev_d[keep]
+            len_d = len_d[keep]
+            counts = np.minimum(counts, max_paths_per_node)
+            narcs = int(beta_d.size)
+        span.annotate(arcs=narcs)
+
+    # ---- geometry materialization -------------------------------------
+    with tracer.span("trace.pointer.geometry", cat="kernel") as span:
+        lens = len_d
+        starts = np.cumsum(lens) - lens
+        flat = np.empty(int(lens.sum()), dtype=np.int64)
+        flat[starts + lens - 1] = beta_d
+
+        # walk each arc's ancestor entries top-down, collecting one
+        # (segment start, pairs, output end) record per ancestor
+        cur_ent = parent_d.copy()
+        cur_lev = lev_d.copy()
+        epos = starts + lens - 2
+        seg_cell: list[np.ndarray] = []
+        seg_pairs: list[np.ndarray] = []
+        seg_end: list[np.ndarray] = []
+        for lv in range(nlev - 1, 0, -1):
+            m = cur_lev == lv
+            if not np.any(m):
+                continue
+            e = cur_ent[m]
+            pairs = ent_pairs[lv][e]
+            seg_cell.append(ent_seg[lv][e])
+            seg_pairs.append(pairs)
+            seg_end.append(epos[m])
+            epos[m] -= 2 * pairs
+            cur_ent[m] = ent_parent[lv][e]
+            cur_lev[m] = lv - 1
+        # every walk bottomed out at level 0: the source cell
+        flat[starts] = src[cur_ent]
+
+        # vectorized chain walk: all segments of all arcs advance one
+        # (cell, head) pair per pass
+        if seg_cell:
+            c = np.concatenate(seg_cell)
+            rem = np.concatenate(seg_pairs)
+            p = np.concatenate(seg_end) - 2 * rem + 1
+            while c.size:
+                flat[p] = c
+                flat[p + 1] = cont[c]
+                rem = rem - 1
+                m = rem > 0
+                c = st.chain_next[c[m]]
+                p = p[m] + 2
+                rem = rem[m]
+        span.annotate(cells=int(flat.size))
+
+    return flat, lens.tolist(), beta_d.tolist(), counts.tolist()
+
+
+# ---------------------------------------------------------------------------
+# 1-skeleton extraction
+# ---------------------------------------------------------------------------
+
+
 def extract_ms_complex(
     field: GradientField,
     max_paths_per_node: int | None = None,
+    kernel_backend: str = "auto",
 ) -> MorseSmaleComplex:
     """Build the block-local MS complex 1-skeleton from a gradient field.
 
@@ -234,7 +652,13 @@ def extract_ms_complex(
         Optional safety cap on the number of V-paths enumerated from one
         node (pathological fields can have exponentially many); ``None``
         enumerates all.
+    kernel_backend:
+        Tracing backend: ``"dfs"`` (per-path depth-first), ``"pointer"``
+        (vectorized pointer jumping), or ``"auto"`` (default; by field
+        size).  The constructed complex is bit-identical either way —
+        the backend is a pure scheduling choice.
     """
+    backend = resolve_kernel_backend(kernel_backend, field)
     cx = field.complex
     region_lo = tuple(o // 2 for o in cx.refined_origin)
     region_hi = tuple(
@@ -268,14 +692,17 @@ def extract_ms_complex(
     nodes_span.annotate(nodes=nid)
     nodes_span.__exit__(None, None, None)
 
-    arcs_span = tracer.span("trace.arcs", cat="kernel")
+    arcs_span = tracer.span("trace.arcs", cat="kernel", backend=backend)
     arcs_span.__enter__()
     addresses = cx.global_address
+    trace_many = (
+        _trace_down_many_pointer if backend == "pointer" else _trace_down_many
+    )
     for d in range(1, 4):
         sources = crit_by_dim[d].tolist()
         if not sources:
             continue
-        flat, lens, terminals, counts = _trace_down_many(
+        flat, lens, terminals, counts = trace_many(
             field, sources, max_paths_per_node
         )
         # one address gather for every path of every source of this

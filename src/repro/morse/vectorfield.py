@@ -19,11 +19,22 @@ import numpy as np
 
 from repro.mesh.cubical import CubicalComplex
 
-__all__ = ["GradientField", "CRITICAL", "UNASSIGNED", "SENTINEL"]
+__all__ = [
+    "GradientField",
+    "CRITICAL",
+    "UNASSIGNED",
+    "SENTINEL",
+    "CONT_CRITICAL",
+    "CONT_DEAD",
+]
 
 CRITICAL = 6
 UNASSIGNED = 7
 SENTINEL = 255
+
+#: continuation-table markers (must be negative: real cells are >= 0)
+CONT_CRITICAL = -2
+CONT_DEAD = -1
 
 
 class GradientField:
@@ -107,6 +118,53 @@ class GradientField:
         dims = self.complex.cell_dim
         if np.any(np.abs(dims[paired].astype(int) - dims[partner].astype(int)) != 1):
             raise AssertionError("paired cells must differ in dimension by 1")
+
+    def continuation_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        """Flat V-path continuation arrays ``(cont, ckey)``, built once.
+
+        For every padded cell ``alpha`` reachable as a descent
+        candidate:
+
+        - ``cont[alpha]`` is the padded index of the head cell a
+          descending V-path through ``alpha`` continues into, or
+          :data:`CONT_CRITICAL` (the path ends an arc at ``alpha``) /
+          :data:`CONT_DEAD` (``alpha`` heads a lower vector: the path
+          dies);
+        - ``ckey[alpha]`` indexes the flattened memoized
+          ``trace_facets`` table with the head cell's continuation
+          facet offsets — its facets minus the one leading back to
+          ``alpha`` — as ``celltype(head) * 6 + pairing_code(alpha)``.
+
+        Both tracing backends (the per-path DFS and the vectorized
+        pointer-jumping tracer) consume these arrays; they are built
+        with whole-array numpy passes and cached on the field.
+        """
+        tables = getattr(self, "_continuation_tables", None)
+        if tables is None:
+            cx = self.complex
+            pairing = self.pairing
+            n = cx.num_padded
+            offs = np.asarray(self.dir_offsets, dtype=np.int64)
+
+            cont = np.full(n, CONT_DEAD, dtype=np.int64)
+            cont[pairing == CRITICAL] = CONT_CRITICAL
+            paired = np.flatnonzero(cx.valid & (pairing < CRITICAL))
+            partner = paired + offs[pairing[paired]]
+            # the path continues only through tails (partner one dim
+            # up); heads of lower vectors stay CONT_DEAD
+            tails = cx.cell_dim[partner] == cx.cell_dim[paired] + 1
+            cont[paired[tails]] = partner[tails]
+
+            ckey = np.zeros(n, dtype=np.int64)
+            ckey[paired[tails]] = (
+                cx.celltype[partner[tails]].astype(np.int64) * 6
+                + pairing[paired[tails]]
+            )
+            cont.setflags(write=False)
+            ckey.setflags(write=False)
+            tables = (cont, ckey)
+            self._continuation_tables = tables
+        return tables
 
     def nbytes(self) -> int:
         """Storage footprint of the packed field (1 byte per element)."""

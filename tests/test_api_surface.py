@@ -146,7 +146,8 @@ class TestFacade:
 
         serial = repro.compute(facade_field, persistence=0.05, ranks=8)
         pooled = repro.compute(
-            facade_field, persistence=0.05, ranks=8, workers=2
+            facade_field, persistence=0.05, ranks=8,
+            options=repro.ExecutionOptions(workers=2),
         )
         assert pooled.stats.executor == "process"
         assert pack_complex(pooled.merged_complexes[0]) == pack_complex(
@@ -186,7 +187,9 @@ class TestFacade:
         with pytest.raises(ValueError):
             repro.compute(facade_field, ranks=0)
         with pytest.raises(ValueError):
-            repro.compute(facade_field, workers=0)
+            repro.compute(
+                facade_field, options=repro.ExecutionOptions(workers=0)
+            )
         with pytest.raises(ValueError):
             repro.compute(facade_field, merge_radix=3)
         with pytest.raises(ValueError):
@@ -206,6 +209,95 @@ class TestFacade:
             msc.node_counts_by_index()
             == res.merged_complexes[0].node_counts_by_index()
         )
+
+
+# ---------------------------------------------------------------------------
+# ExecutionOptions: the grouped execution-knob surface
+# ---------------------------------------------------------------------------
+
+
+class TestExecutionOptions:
+    def test_defaults_and_round_trip(self):
+        opts = repro.ExecutionOptions()
+        assert opts.workers == 1
+        assert opts.executor == "auto"
+        assert opts.merge_executor == "auto"
+        assert opts.transport == "auto"
+        assert opts.kernel_backend == "auto"
+        cfg = repro.PipelineConfig(num_blocks=8, options=opts)
+        assert cfg.execution_options == opts
+
+    def test_options_is_frozen(self):
+        import dataclasses
+
+        opts = repro.ExecutionOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            opts.workers = 4
+
+    def test_config_accepts_options_bundle(self):
+        opts = repro.ExecutionOptions(workers=2, transport="shm",
+                                      kernel_backend="pointer",
+                                      retry_backoff=0.0)
+        cfg = repro.PipelineConfig(num_blocks=8, options=opts)
+        assert cfg.workers == 2
+        assert cfg.transport == "shm"
+        assert cfg.kernel_backend == "pointer"
+        assert cfg.retry_backoff == 0.0
+        assert cfg.execution_options == opts
+
+    def test_config_rejects_options_plus_flat(self):
+        with pytest.raises(TypeError, match="both options="):
+            repro.PipelineConfig(
+                num_blocks=8, workers=2,
+                options=repro.ExecutionOptions(workers=2),
+            )
+
+    def test_config_rejects_non_options_value(self):
+        with pytest.raises(TypeError, match="ExecutionOptions"):
+            repro.PipelineConfig(num_blocks=8, options={"workers": 2})
+
+    @pytest.mark.parametrize(
+        "knob", ["executor", "merge_executor", "transport",
+                 "kernel_backend"]
+    )
+    def test_choice_knobs_validate_early(self, knob):
+        with pytest.raises(ValueError, match="choose one of"):
+            repro.ExecutionOptions(**{knob: "bogus"})
+        with pytest.raises(ValueError, match="choose one of"):
+            repro.PipelineConfig(num_blocks=8, **{knob: "bogus"})
+
+    def test_compute_both_spellings_bit_identical(self, facade_field):
+        from repro.core.merge import pack_complex
+
+        grouped = repro.compute(
+            facade_field, persistence=0.05, ranks=8,
+            options=repro.ExecutionOptions(retry_backoff=0.0),
+        )
+        with pytest.warns(DeprecationWarning, match="retry_backoff"):
+            flat = repro.compute(
+                facade_field, persistence=0.05, ranks=8,
+                retry_backoff=0.0,
+            )
+        assert pack_complex(grouped.merged_complexes[0]) == pack_complex(
+            flat.merged_complexes[0]
+        )
+
+    def test_compute_flat_keywords_warn(self, facade_field):
+        with pytest.warns(DeprecationWarning, match="workers"):
+            repro.compute(facade_field, persistence=0.05, workers=1)
+
+    def test_compute_options_spelling_does_not_warn(self, facade_field):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.compute(facade_field, persistence=0.05,
+                          options=repro.ExecutionOptions())
+
+    def test_compute_rejects_options_plus_flat(self, facade_field):
+        with pytest.raises(TypeError, match="both options="):
+            repro.compute(
+                facade_field, persistence=0.05, workers=2,
+                options=repro.ExecutionOptions(workers=2),
+            )
 
 
 # ---------------------------------------------------------------------------

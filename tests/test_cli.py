@@ -76,6 +76,37 @@ class TestCompute:
         assert rc == 0
         assert "workers=1" in capsys.readouterr().out
 
+    def test_kernel_backend_flag_parses(self):
+        args = build_parser().parse_args(
+            ["compute", "v.raw", "--dims", "8", "8", "8",
+             "--kernel-backend", "pointer"]
+        )
+        assert args.kernel_backend == "pointer"
+
+    def test_kernel_backend_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compute", "v.raw", "--dims", "8", "8", "8",
+                 "--kernel-backend", "bfs"]
+            )
+
+    def test_kernel_backend_runs_bit_identical(self, volume, tmp_path,
+                                               capsys):
+        outputs = {}
+        for backend in ("dfs", "pointer"):
+            out = tmp_path / f"{backend}.msc"
+            rc = main([
+                "compute", volume.path,
+                "--dims", *map(str, volume.dims),
+                "--blocks", "4", "--persistence", "0.05",
+                "--kernel-backend", backend,
+                "--output", str(out),
+            ])
+            assert rc == 0
+            capsys.readouterr()
+            outputs[backend] = out.read_bytes()
+        assert outputs["pointer"] == outputs["dfs"]
+
 
 class TestComputeErrors:
     def test_missing_volume_fails_readably(self, tmp_path, capsys):

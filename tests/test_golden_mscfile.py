@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro import ExecutionOptions
 from repro.io.mscfile import MAGIC, read_msc_file, write_msc_file
 from repro.morse.msc import MorseSmaleComplex
 
@@ -31,7 +32,8 @@ def golden_result():
     """The exact pipeline run the committed golden file captures."""
     # default_rng avoids libm transcendentals => bit-stable across hosts
     field = np.random.default_rng(42).random((9, 9, 9))
-    return repro.compute(field, persistence=0.1, ranks=8, retry_backoff=0.0)
+    return repro.compute(field, persistence=0.1, ranks=8,
+                         options=ExecutionOptions(retry_backoff=0.0))
 
 
 def test_pipeline_output_matches_golden_bytes(tmp_path):
@@ -44,7 +46,8 @@ def test_golden_bytes_with_observability_enabled(tmp_path):
     """Tracing and metrics must never perturb the output bytes."""
     field = np.random.default_rng(42).random((9, 9, 9))
     result = repro.compute(field, persistence=0.1, ranks=8,
-                           retry_backoff=0.0, trace=True, metrics=True)
+                           options=ExecutionOptions(retry_backoff=0.0),
+                           trace=True, metrics=True)
     out = tmp_path / "traced.msc"
     result.write(str(out))
     assert out.read_bytes() == GOLDEN.read_bytes()
@@ -55,10 +58,40 @@ def test_golden_bytes_with_observability_enabled(tmp_path):
 @pytest.mark.slow
 def test_golden_bytes_with_observability_enabled_pooled(tmp_path):
     field = np.random.default_rng(42).random((9, 9, 9))
-    result = repro.compute(field, persistence=0.1, ranks=8, workers=2,
-                           transport="shm", retry_backoff=0.0,
+    result = repro.compute(field, persistence=0.1, ranks=8,
+                           options=ExecutionOptions(workers=2,
+                                                    transport="shm",
+                                                    retry_backoff=0.0),
                            trace=True, metrics=True)
     out = tmp_path / "traced_pooled.msc"
+    result.write(str(out))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+@pytest.mark.slow
+def test_golden_bytes_pointer_backend_pooled_traced(tmp_path):
+    """The pointer-jumping tracing backend is bit-identical to DFS in
+    the most composed configuration: pooled workers, shm transport, and
+    tracing enabled all at once."""
+    field = np.random.default_rng(42).random((9, 9, 9))
+    result = repro.compute(field, persistence=0.1, ranks=8,
+                           options=ExecutionOptions(
+                               workers=2, transport="shm",
+                               kernel_backend="pointer",
+                               retry_backoff=0.0),
+                           trace=True)
+    out = tmp_path / "pointer_pooled.msc"
+    result.write(str(out))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_golden_bytes_pointer_backend_serial(tmp_path):
+    field = np.random.default_rng(42).random((9, 9, 9))
+    result = repro.compute(field, persistence=0.1, ranks=8,
+                           options=ExecutionOptions(
+                               kernel_backend="pointer",
+                               retry_backoff=0.0))
+    out = tmp_path / "pointer_serial.msc"
     result.write(str(out))
     assert out.read_bytes() == GOLDEN.read_bytes()
 
@@ -66,7 +99,8 @@ def test_golden_bytes_with_observability_enabled_pooled(tmp_path):
 def test_golden_bytes_explicit_serial_merge_executor(tmp_path):
     field = np.random.default_rng(42).random((9, 9, 9))
     result = repro.compute(field, persistence=0.1, ranks=8,
-                           merge_executor="serial", retry_backoff=0.0)
+                           options=ExecutionOptions(merge_executor="serial",
+                                                    retry_backoff=0.0))
     out = tmp_path / "serial_merge.msc"
     result.write(str(out))
     assert out.read_bytes() == GOLDEN.read_bytes()
@@ -80,8 +114,10 @@ def test_golden_bytes_pooled_merge_executor(tmp_path, trace):
     not — merging is deterministic, so where it runs cannot show in the
     output bytes."""
     field = np.random.default_rng(42).random((9, 9, 9))
-    result = repro.compute(field, persistence=0.1, ranks=8, workers=2,
-                           merge_executor="pool", retry_backoff=0.0,
+    result = repro.compute(field, persistence=0.1, ranks=8,
+                           options=ExecutionOptions(workers=2,
+                                                    merge_executor="pool",
+                                                    retry_backoff=0.0),
                            trace=trace)
     out = tmp_path / "pooled_merge.msc"
     result.write(str(out))

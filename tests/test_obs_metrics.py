@@ -118,8 +118,9 @@ class TestRegistry:
 class TestPipelineMetrics:
     def _result(self, **kw):
         field = np.random.default_rng(7).random((12, 12, 12))
+        opts = repro.ExecutionOptions(retry_backoff=0.0, **kw)
         return repro.compute(field, persistence=0.05, ranks=8,
-                             metrics=True, retry_backoff=0.0, **kw)
+                             metrics=True, options=opts)
 
     def test_metrics_off_by_default(self):
         field = np.random.default_rng(7).random((12, 12, 12))

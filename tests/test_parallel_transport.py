@@ -199,7 +199,8 @@ class TestApiAndCli:
 
         ref = blobs(run(field, transport="pickle", merge_radices="full"))
         res = repro.compute(
-            field, persistence=0.05, ranks=8, transport="shm"
+            field, persistence=0.05, ranks=8,
+            options=repro.ExecutionOptions(transport="shm"),
         )
         assert res.stats.transport.kind == "shm"
         assert blobs(res) == ref

@@ -1,0 +1,112 @@
+"""Property-based tests of the two V-path tracing backends.
+
+Hypothesis drives random small fields (and path caps) through both
+tracing kernels — the per-path DFS and the vectorized pointer-jumping
+backend — and asserts bit-identity of the resulting MS complexes:
+same nodes, same arcs in the same enumeration order, same geometry,
+byte-for-byte equal payloads.  The backend knob must be pure
+scheduling; any divergence here is a correctness bug, not a tolerance
+question.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mesh.cubical import CubicalComplex
+from repro.morse.gradient import compute_discrete_gradient
+from repro.morse.tracing import (
+    AUTO_POINTER_MIN_CELLS,
+    KERNEL_BACKENDS,
+    extract_ms_complex,
+    resolve_kernel_backend,
+    trace_down,
+)
+
+
+def _extract(field, backend, cap=None):
+    """Fresh gradient field each time so per-field caches cannot leak
+    state between the two backends under comparison."""
+    grad = compute_discrete_gradient(CubicalComplex(field))
+    msc = extract_ms_complex(grad, max_paths_per_node=cap,
+                            kernel_backend=backend)
+    return {k: np.asarray(v) for k, v in msc.to_payload().items()}
+
+
+def _assert_payloads_identical(a, b):
+    assert set(a) == set(b)
+    for key in sorted(a):
+        np.testing.assert_array_equal(
+            a[key], b[key], err_msg=f"backend divergence in {key!r}"
+        )
+
+
+@st.composite
+def tracing_cases(draw):
+    seed = draw(st.integers(0, 2**31 - 1))
+    nx = draw(st.integers(4, 9))
+    ny = draw(st.integers(4, 9))
+    nz = draw(st.integers(4, 9))
+    cap = draw(st.sampled_from([None, 1, 2, 5]))
+    field = np.random.default_rng(seed).random((nx, ny, nz))
+    return field, cap
+
+
+@settings(max_examples=12, deadline=None)
+@given(tracing_cases())
+def test_pointer_backend_bit_identical_to_dfs(case):
+    field, cap = case
+    dfs = _extract(field, "dfs", cap)
+    pointer = _extract(field, "pointer", cap)
+    _assert_payloads_identical(dfs, pointer)
+
+
+def test_backends_agree_on_monotone_field():
+    """A pure ramp has one critical cell and no arcs — the degenerate
+    empty-frontier path of the pointer backend."""
+    X, Y, Z = np.meshgrid(
+        np.arange(5.0), np.arange(6.0), np.arange(7.0), indexing="ij"
+    )
+    _assert_payloads_identical(
+        _extract(X + Y + Z, "dfs"), _extract(X + Y + Z, "pointer")
+    )
+
+
+def test_backends_agree_per_node(small_random_field):
+    """trace_down itself (paths, terminals, per-node order) agrees."""
+    grad = compute_discrete_gradient(CubicalComplex(small_random_field))
+    for crit in grad.critical_cells():
+        assert trace_down(grad, crit, kernel_backend="pointer") == \
+            trace_down(grad, crit, kernel_backend="dfs")
+
+
+class TestBackendResolution:
+    def test_explicit_backends_pass_through(self, small_random_field):
+        grad = compute_discrete_gradient(
+            CubicalComplex(small_random_field)
+        )
+        assert resolve_kernel_backend("dfs", grad) == "dfs"
+        assert resolve_kernel_backend("pointer", grad) == "pointer"
+
+    def test_auto_picks_by_cell_count(self, small_random_field):
+        grad = compute_discrete_gradient(
+            CubicalComplex(small_random_field)
+        )
+        expected = (
+            "pointer"
+            if grad.complex.num_cells >= AUTO_POINTER_MIN_CELLS
+            else "dfs"
+        )
+        assert resolve_kernel_backend("auto", grad) == expected
+
+    def test_unknown_backend_is_a_readable_error(self, small_random_field):
+        grad = compute_discrete_gradient(
+            CubicalComplex(small_random_field)
+        )
+        with pytest.raises(ValueError, match="choose one of"):
+            resolve_kernel_backend("bfs", grad)
+
+    def test_backend_names_are_stable(self):
+        assert KERNEL_BACKENDS == ("auto", "dfs", "pointer")
