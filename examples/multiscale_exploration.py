@@ -8,10 +8,14 @@ rerun analyses on the original data."
 
 The enabling structure is the cancellation hierarchy (§III-C): one
 computation yields a multi-resolution family of complexes, and every
-persistence level is a cheap query.  This example computes the hierarchy
-of a Rayleigh-Taylor proxy once, then "moves the slider" across
-persistence levels, reporting the feature counts and the 1-skeleton
-statistics at each scale — no recomputation.
+persistence level is a cheap query.  This example runs the parallel
+pipeline ONCE with the ``hierarchy`` option, persists the result — the
+complex and its hierarchy together — into a ``.msc`` v2 file, and then
+"moves the slider" entirely through the file: every threshold below is
+answered by :func:`repro.query` out of the persisted footer, without
+touching the original data or re-simplifying anything.  Close the
+session, come back tomorrow, point ``repro query`` at the same file —
+same instant answers.
 
 Usage::
 
@@ -20,14 +24,11 @@ Usage::
 
 from __future__ import annotations
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
-from repro.analysis import MSComplexHierarchy
+import repro
 from repro.data import rayleigh_taylor_proxy
-from repro.mesh.cubical import CubicalComplex
-from repro.morse.gradient import compute_discrete_gradient
-from repro.morse.simplify import simplify_ms_complex
-from repro.morse.tracing import extract_ms_complex
 
 
 def main() -> None:
@@ -35,33 +36,44 @@ def main() -> None:
     print(f"Rayleigh-Taylor proxy {field.shape}, "
           f"density range [{field.min():.2f}, {field.max():.2f}]")
 
-    # one full computation, fully simplified, hierarchy captured
-    cx = CubicalComplex(field)
-    grad = compute_discrete_gradient(cx)
-    msc = extract_ms_complex(grad)
-    simplify_ms_complex(msc, np.inf, respect_boundary=False)
-    hierarchy = MSComplexHierarchy.from_complex(msc)
-    print(f"hierarchy: {hierarchy.num_levels} cancellation levels, "
-          f"persistence range "
-          f"[0, {max(hierarchy.persistences):.3f}]\n")
+    # one full parallel computation, hierarchy captured and persisted
+    result = repro.compute(
+        field, persistence=0.0, ranks=8,
+        options=repro.ExecutionOptions(retry_backoff=0.0, hierarchy=True),
+    )
+    with tempfile.TemporaryDirectory() as workdir:
+        path = Path(workdir) / "rt_proxy.msc"
+        nbytes = result.write(str(path))
+        print(f"persisted complex + hierarchy: {nbytes} bytes (.msc v2)")
 
-    # the parameter study: walk the persistence slider
-    print(f"{'persistence':>12} {'min':>5} {'1sad':>5} {'2sad':>5} "
-          f"{'max':>5} {'arcs':>6}")
-    for frac in (0.0, 0.001, 0.01, 0.05, 0.2, 0.5, 1.0):
-        p = frac * max(hierarchy.persistences)
-        view = hierarchy.view_at_persistence(p)
-        c = view.node_counts_by_index()
-        print(f"{p:>12.4f} {c[0]:>5} {c[1]:>5} {c[2]:>5} {c[3]:>5} "
-              f"{len(view.arcs):>6}")
+        # everything below is pure file queries — the pipeline is done
+        hierarchies = repro.load_hierarchy(str(path))
+        depth = max(h.num_levels for h in hierarchies.values())
+        top = max(max(h.persistences) for h in hierarchies.values())
+        print(f"hierarchy: {depth} cancellation levels, "
+              f"persistence range [0, {top:.3f}]\n")
 
-    xs, ys = hierarchy.node_count_curve()
-    # find the persistence plateau: the scale band where the feature
-    # count is stable (the "right" threshold for this dataset)
+        # the parameter study: walk the persistence slider
+        print(f"{'persistence':>12} {'min':>5} {'1sad':>5} {'2sad':>5} "
+              f"{'max':>5} {'arcs':>6}")
+        for frac in (0.0, 0.001, 0.01, 0.05, 0.2, 0.5, 1.0):
+            p = frac * top
+            answer = repro.query(hierarchies, persistence=p)
+            c = answer.node_counts_by_index()
+            print(f"{p:>12.4f} {c[0]:>5} {c[1]:>5} {c[2]:>5} {c[3]:>5} "
+                  f"{answer.num_arcs:>6}")
+
+        # coarse-to-fine: the k most persistent features, no threshold
+        # guessing required
+        for k in (2, 8):
+            answer = repro.query(hierarchies, top_k=k)
+            print(f"\ntop-{k} scales: {answer.num_nodes} nodes, "
+                  f"{answer.num_arcs} arcs "
+                  f"(effective persistence {answer.persistence:.4f})")
+
     print(
-        "\nfeature-count curve has "
-        f"{len(set(ys))} distinct levels across {len(xs)} thresholds;"
-        "\neach row above was a pure query - the data was processed once."
+        "\neach row above was a pure file lookup - the data was "
+        "processed once."
     )
 
 

@@ -33,6 +33,15 @@ Parallel execution — 8 virtual ranks merged radix-8, compute stage on a
                      options=ExecutionOptions(workers=4))
     print(result.stats.describe())
 
+Multiscale queries — compute once with the ``hierarchy`` option, persist
+the cancellation hierarchy into the ``.msc`` v2 footer, then answer any
+persistence threshold as a pure lookup (no re-simplification)::
+
+    result = compute(field, options=ExecutionOptions(hierarchy=True))
+    result.write("out.msc")
+    from repro import query
+    print(query("out.msc", persistence=0.1).node_counts_by_index())
+
 The lower-level entry points (``compute_morse_smale_complex`` for a bare
 serial complex with its cancellation hierarchy,
 ``ParallelMSComplexPipeline`` for full configuration control) remain
@@ -40,7 +49,7 @@ available below the facade.
 """
 
 from repro import api, obs
-from repro.api import compute
+from repro.api import compute, load_hierarchy, query
 from repro.core.config import MergeSchedule, PipelineConfig
 from repro.core.options import ExecutionOptions
 from repro.core.pipeline import (
@@ -66,6 +75,8 @@ __all__ = [
     "compute",
     "compute_discrete_gradient",
     "compute_morse_smale_complex",
+    "load_hierarchy",
     "obs",
+    "query",
     "__version__",
 ]

@@ -11,6 +11,8 @@ count, and the minimum cut" of filament structures.
   with the statistics the paper's analysis pipeline reports,
 - :mod:`repro.analysis.compare` — stability quantification (§V-A),
 - :mod:`repro.analysis.hierarchy` — multi-resolution level queries,
+- :mod:`repro.analysis.query` — re-simplification-free persistence
+  queries against hierarchies persisted in ``.msc`` v2 files,
 - :mod:`repro.analysis.segmentation` — ascending/descending manifold
   labeling (basin segmentation),
 - :mod:`repro.analysis.raster` — label volumes and ASCII projections of
@@ -23,6 +25,7 @@ from repro.analysis.compare import (
     feature_signature,
 )
 from repro.analysis.hierarchy import HierarchyLevelView, MSComplexHierarchy
+from repro.analysis.query import QueryResult, load_hierarchy, query
 from repro.analysis.raster import project_ascii, rasterize
 from repro.analysis.segmentation import (
     basin_sizes,
@@ -48,6 +51,7 @@ __all__ = [
     "ComplexComparison",
     "HierarchyLevelView",
     "MSComplexHierarchy",
+    "QueryResult",
     "arc_length",
     "arcs_by_family",
     "basin_sizes",
@@ -58,10 +62,12 @@ __all__ = [
     "feature_signature",
     "filament_statistics",
     "filter_arcs_by_value",
+    "load_hierarchy",
     "minimum_cut",
     "nodes_by_index",
     "persistence_curve",
     "project_ascii",
+    "query",
     "rasterize",
     "significant_extrema",
     "to_networkx",

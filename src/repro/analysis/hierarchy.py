@@ -14,8 +14,13 @@ value are O(log #levels) to locate the level plus output size to
 materialize, with no mutation of the original complex.
 
 Build it from a complex that has been simplified but **not yet
-compacted** (compaction renumbers ids); the hierarchy copies everything
-it needs, so the source complex may be compacted or discarded afterward.
+compacted** (compaction renumbers ids), or capture one from a compacted
+complex with :meth:`MSComplexHierarchy.capture` (which sweeps a
+throwaway copy); the hierarchy copies everything it needs, so the source
+complex may be compacted or discarded afterward.  The flat-array
+round-trip (:meth:`~MSComplexHierarchy.to_arrays` /
+:meth:`~MSComplexHierarchy.from_arrays`) is what the ``.msc`` v2
+hierarchy footer persists (see :mod:`repro.io.mscfile`).
 """
 
 from __future__ import annotations
@@ -63,12 +68,40 @@ class MSComplexHierarchy:
         persistences: list[float],
     ) -> None:
         self._nodes = node_records
-        self._node_death = node_death
+        self._node_death = np.asarray(node_death, dtype=np.int64)
         self._arcs = arc_records
-        self._arc_birth = arc_birth
-        self._arc_death = arc_death
+        self._arc_birth = np.asarray(arc_birth, dtype=np.int64)
+        self._arc_death = np.asarray(arc_death, dtype=np.int64)
         #: persistence of each cancellation, in application order
-        self.persistences = persistences
+        self.persistences = list(persistences)
+        # columnar copies of the records: vectorized materialization
+        self._node_addr = np.asarray(
+            [r[0] for r in node_records], dtype=np.int64
+        )
+        self._node_index = np.asarray(
+            [r[1] for r in node_records], dtype=np.uint8
+        )
+        self._node_value = np.asarray(
+            [r[2] for r in node_records], dtype=np.float64
+        )
+        self._arc_upper = np.asarray(
+            [r[0] for r in arc_records], dtype=np.int64
+        )
+        self._arc_lower = np.asarray(
+            [r[1] for r in arc_records], dtype=np.int64
+        )
+        # Running maximum of the persistences.  It is non-decreasing by
+        # construction, so a query threshold locates its level with one
+        # bisection: the longest prefix of cancellations that a fresh
+        # bounded-threshold run would also have applied (see
+        # level_of_persistence).
+        self._prefix_max = (
+            np.maximum.accumulate(
+                np.asarray(self.persistences, dtype=np.float64)
+            )
+            if self.persistences
+            else np.empty(0, dtype=np.float64)
+        )
 
     # -- construction -----------------------------------------------------
 
@@ -127,6 +160,82 @@ class MSComplexHierarchy:
             [c.persistence for c in msc.hierarchy],
         )
 
+    @classmethod
+    def capture(cls, msc: MorseSmaleComplex) -> "MSComplexHierarchy":
+        """Capture the full hierarchy of a compacted complex.
+
+        Sweeps a throwaway payload copy of ``msc`` to infinite
+        persistence (``respect_boundary=True``, so shared-boundary and
+        ghost nodes of partially merged blocks stay protected exactly as
+        a fresh bounded run would protect them) and records the
+        cancellation sequence.  Level 0 of the returned hierarchy *is*
+        ``msc`` as stored; ``msc`` itself is never mutated.
+
+        Because a bounded fresh run replays the identical heap evolution
+        as this infinite sweep up to its threshold, querying the result
+        at any persistence ``p`` yields exactly the node/arc sets of
+        ``simplify_ms_complex(copy, p)`` on a copy of ``msc`` — the
+        equivalence the persisted query engine relies on.
+        """
+        from repro.morse.simplify import simplify_ms_complex
+
+        sweep = MorseSmaleComplex.from_payload(msc.to_payload())
+        simplify_ms_complex(sweep, np.inf, respect_boundary=True)
+        return cls.from_complex(sweep)
+
+    # -- persistence (flat-array round-trip) ------------------------------
+
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """The hierarchy as flat numpy arrays (the ``.msc`` v2 layout).
+
+        Nine parallel arrays: per-node ``node_address`` / ``node_index``
+        / ``node_value`` / ``node_death``, per-arc ``arc_upper_address``
+        / ``arc_lower_address`` / ``arc_birth`` / ``arc_death``, and the
+        per-level ``persistences``.  Death/birth levels use
+        ``int64 max`` for "never dies".  The inverse is
+        :meth:`from_arrays`; the round-trip is bit-exact.
+        """
+        return {
+            "node_address": self._node_addr.copy(),
+            "node_index": self._node_index.copy(),
+            "node_value": self._node_value.copy(),
+            "node_death": self._node_death.copy(),
+            "arc_upper_address": self._arc_upper.copy(),
+            "arc_lower_address": self._arc_lower.copy(),
+            "arc_birth": self._arc_birth.copy(),
+            "arc_death": self._arc_death.copy(),
+            "persistences": np.asarray(
+                self.persistences, dtype=np.float64
+            ),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray]
+    ) -> "MSComplexHierarchy":
+        """Rebuild a hierarchy from its :meth:`to_arrays` representation."""
+        node_records = list(
+            zip(
+                arrays["node_address"].tolist(),
+                arrays["node_index"].tolist(),
+                arrays["node_value"].tolist(),
+            )
+        )
+        arc_records = list(
+            zip(
+                arrays["arc_upper_address"].tolist(),
+                arrays["arc_lower_address"].tolist(),
+            )
+        )
+        return cls(
+            node_records,
+            arrays["node_death"],
+            arc_records,
+            arrays["arc_birth"],
+            arrays["arc_death"],
+            arrays["persistences"].tolist(),
+        )
+
     # -- queries ------------------------------------------------------------
 
     @property
@@ -137,41 +246,61 @@ class MSComplexHierarchy:
     def level_of_persistence(self, persistence: float) -> int:
         """Highest level whose cancellations all have persistence <= p.
 
-        Cancellation persistences are non-decreasing *as a threshold
-        sweep*: a level's simplification may interleave (new arcs can be
-        cheaper than the pair that created them), so the level is located
-        by scanning for the last prefix bounded by ``persistence``.
+        Simplification may interleave (a cancellation can create arcs
+        cheaper than the pair that created them), so the raw persistence
+        sequence is not monotone; the level is the length of the longest
+        *prefix* bounded by ``persistence``, found by bisecting the
+        precomputed running maximum — O(log #levels).  This is exactly
+        the set of cancellations a fresh ``simplify_ms_complex`` run at
+        threshold ``persistence`` performs, because such a run replays
+        the identical heap evolution and stops at the first pop whose
+        persistence exceeds the threshold.
         """
-        level = 0
-        for i, p in enumerate(self.persistences, start=1):
-            if p <= persistence:
-                level = i
-        return level
+        return int(
+            bisect.bisect_right(self._prefix_max, persistence)
+        )
+
+    def level_for_top_k(self, k: int) -> int:
+        """The level that leaves the ``k`` coarsest cancellations undone.
+
+        The running persistence maximum is non-decreasing, so the last
+        ``k`` levels of the hierarchy are its ``k`` most persistent
+        (coarsest-scale) simplification steps; viewing the complex at
+        ``num_levels - k`` keeps exactly those features separate.  ``k``
+        of 0 is the fully simplified complex; ``k >= num_levels`` is the
+        unsimplified one.
+        """
+        if k < 0:
+            raise ValueError(f"top_k must be >= 0, got {k}")
+        return max(0, self.num_levels - k)
 
     def counts_at_level(self, level: int) -> tuple[int, int, int, int]:
         """Node counts by Morse index at a hierarchy level."""
         self._check_level(level)
-        counts = [0, 0, 0, 0]
-        for (_a, idx, _v), death in zip(self._nodes, self._node_death):
-            if death > level:
-                counts[idx] += 1
-        return tuple(counts)
+        alive = self._node_death > level
+        counts = np.bincount(self._node_index[alive], minlength=4)
+        return tuple(int(c) for c in counts[:4])
 
     def view_at_level(self, level: int) -> HierarchyLevelView:
         """Materialize the complex (nodes + arcs) at a hierarchy level."""
         self._check_level(level)
-        nodes = [
-            rec
-            for rec, death in zip(self._nodes, self._node_death)
-            if death > level
-        ]
-        arcs = [
-            rec
-            for rec, birth, death in zip(
-                self._arcs, self._arc_birth, self._arc_death
+        nsel = np.nonzero(self._node_death > level)[0]
+        nodes = list(
+            zip(
+                self._node_addr[nsel].tolist(),
+                self._node_index[nsel].tolist(),
+                self._node_value[nsel].tolist(),
             )
-            if birth <= level < death
-        ]
+        )
+        asel = np.nonzero(
+            (self._arc_birth <= level) & (level < self._arc_death)
+        )[0]
+        arcs = list(
+            zip(
+                self._arc_upper[asel].tolist(),
+                self._arc_lower[asel].tolist(),
+            )
+        )
         pers = self.persistences[level - 1] if level else 0.0
         return HierarchyLevelView(
             level=level, persistence=pers, nodes=nodes, arcs=arcs

@@ -36,6 +36,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.query import QueryResult, load_hierarchy, query
 from repro.core.config import PipelineConfig
 from repro.core.options import ExecutionOptions
 from repro.core.pipeline import ParallelMSComplexPipeline
@@ -43,7 +44,8 @@ from repro.core.result import PipelineResult
 from repro.io.volume import VolumeSpec
 from repro.mesh.grid import StructuredGrid
 
-__all__ = ["ExecutionOptions", "compute"]
+__all__ = ["ExecutionOptions", "QueryResult", "compute",
+           "load_hierarchy", "query"]
 
 #: "keyword not passed" marker for the deprecated flat execution
 #: keywords (several have meaningful defaults, including ``None``)
@@ -69,6 +71,7 @@ def compute(
     max_retries: int = _UNSET,
     retry_backoff: float = _UNSET,
     degrade_on_failure: bool = _UNSET,
+    hierarchy: bool = _UNSET,
 ) -> PipelineResult:
     """Compute the Morse-Smale complex of a scalar field.
 
@@ -99,8 +102,12 @@ def compute(
         :class:`~repro.core.options.ExecutionOptions` bundling
         ``workers``, ``executor``, ``merge_executor``, ``transport``,
         ``kernel_backend`` and the fault-handling settings
-        (timeout/retry/degrade).  Every field is pure scheduling —
-        results are bit-identical across all settings.
+        (timeout/retry/degrade).  Every scheduling field is pure
+        scheduling — results are bit-identical across all settings; the
+        additive ``hierarchy`` flag captures the multiscale cancellation
+        hierarchy into ``result.hierarchies`` (persisted on ``write()``,
+        queryable via :func:`load_hierarchy` / :func:`query`) without
+        changing the complex by a byte.
     faults:
         Optional :class:`repro.parallel.faults.FaultPlan` injecting
         deterministic failures — the chaos-testing hook.
@@ -114,7 +121,7 @@ def compute(
         Aggregate run metrics (counters / gauges / histograms across
         all workers) into ``result.stats.metrics``.
     workers, transport, merge_executor, kernel_backend, block_timeout, \
-    max_retries, retry_backoff, degrade_on_failure:
+    max_retries, retry_backoff, degrade_on_failure, hierarchy:
         Deprecated flat spellings of the corresponding
         :class:`~repro.core.options.ExecutionOptions` fields; accepted
         with a :class:`DeprecationWarning` for one release.  Passing a
@@ -138,6 +145,7 @@ def compute(
             ("max_retries", max_retries),
             ("retry_backoff", retry_backoff),
             ("degrade_on_failure", degrade_on_failure),
+            ("hierarchy", hierarchy),
         )
         if value is not _UNSET
     }

@@ -10,7 +10,12 @@ Commands::
     python -m repro.cli compute volume.raw --dims 64 64 64 --dtype float32 \
         --blocks 8 --persistence 0.05 --radices 8 --output out.msc
     python -m repro.cli info out.msc
+    python -m repro.cli query out.msc --persistence 0.01 0.05 0.2
     python -m repro.cli synth sinusoid --points 64 --features 4 out.raw
+
+``query`` serves thresholds out of the hierarchy footer a
+``compute --hierarchy`` run persisted — every row is a pure lookup, the
+volume is never re-simplified.
 """
 
 from __future__ import annotations
@@ -137,6 +142,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--no-degrade", action="store_true",
                    help="fail instead of degrading to the serial "
                         "executor when the worker pool is unhealthy")
+    c.add_argument("--hierarchy", action="store_true",
+                   help="capture the cancellation hierarchy of every "
+                        "output block and persist it in the .msc v2 "
+                        "footer, enabling `repro query` threshold "
+                        "lookups with zero re-simplification")
     c.add_argument("--radices", nargs="*", type=int, default=None,
                    help="merge radices (default: full merge)")
     c.add_argument("--no-merge", action="store_true",
@@ -153,6 +163,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     i = sub.add_parser("info", help="summarize an MS complex file")
     i.add_argument("mscfile")
+
+    q = sub.add_parser(
+        "query",
+        help="answer persistence thresholds from a persisted hierarchy "
+             "(.msc v2) without re-simplifying",
+    )
+    q.add_argument("mscfile")
+    q.add_argument("--persistence", nargs="+", type=float, default=None,
+                   metavar="P",
+                   help="one or more thresholds to sweep")
+    q.add_argument("--top-k", type=_positive_int, default=None,
+                   metavar="K",
+                   help="keep the K coarsest-scale cancellations undone "
+                        "instead of querying a threshold")
+    q.add_argument("--json", action="store_true",
+                   help="emit the query records as JSON on stdout")
 
     s = sub.add_parser("synth", help="generate a synthetic volume")
     s.add_argument("kind", choices=("sinusoid", "bumps", "jet",
@@ -218,6 +244,7 @@ def _cmd_compute(args) -> int:
                 max_retries=args.max_retries,
                 retry_backoff=args.retry_backoff,
                 degrade_on_failure=not args.no_degrade,
+                hierarchy=args.hierarchy,
             ),
             trace=args.trace is not None,
             metrics=args.metrics is not None,
@@ -260,6 +287,53 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.analysis.query import load_hierarchy, query
+
+    if (args.persistence is None) == (args.top_k is None):
+        return _fail(
+            "query needs exactly one of --persistence and --top-k"
+        )
+    try:
+        hierarchies = load_hierarchy(args.mscfile)
+    except OSError as exc:
+        return _fail(
+            f"cannot read {args.mscfile!r}: {exc.strerror or exc}"
+        )
+    except ValueError as exc:
+        return _fail(str(exc))
+    depth = max(h.num_levels for h in hierarchies.values())
+    if args.top_k is not None:
+        results = [query(hierarchies, top_k=args.top_k)]
+    else:
+        results = [
+            query(hierarchies, persistence=p) for p in args.persistence
+        ]
+    if args.json:
+        print(json.dumps(
+            {
+                "file": args.mscfile,
+                "blocks": len(hierarchies),
+                "hierarchy_depth": depth,
+                "queries": [r.to_dict() for r in results],
+            },
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    print(f"{args.mscfile}: {len(hierarchies)} block(s), "
+          f"hierarchy depth {depth}")
+    print(f"{'persistence':>12} {'level':>6} {'min':>5} {'1sad':>5} "
+          f"{'2sad':>5} {'max':>5} {'arcs':>6}")
+    for r in results:
+        c = r.node_counts_by_index()
+        level = max(r.levels.values(), default=0)
+        print(f"{r.persistence:>12.5f} {level:>6} {c[0]:>5} {c[1]:>5} "
+              f"{c[2]:>5} {c[3]:>5} {r.num_arcs:>6}")
+    return 0
+
+
 def _cmd_synth(args) -> int:
     from repro.data import (
         gaussian_bumps_field,
@@ -296,6 +370,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "compute": _cmd_compute,
         "info": _cmd_info,
+        "query": _cmd_query,
         "synth": _cmd_synth,
     }
     return handlers[args.command](args)

@@ -117,6 +117,13 @@ class PipelineConfig:
     max_pool_restarts:
         Worker-pool rebuilds (after worker deaths or a fully clogged
         pool) tolerated before declaring the pool unhealthy.
+    hierarchy:
+        Capture the cancellation hierarchy of every output block after
+        the merge stage (an infinite-persistence sweep over a throwaway
+        copy; the output complexes are untouched) and persist it in the
+        ``.msc`` v2 hierarchy footer on result write, enabling
+        re-simplification-free multiscale queries
+        (:func:`repro.api.query`).  Off by default.
     faults:
         Optional :class:`repro.parallel.faults.FaultPlan` injecting
         deterministic failures into the compute and merge stages — the
@@ -132,7 +139,7 @@ class PipelineConfig:
         :mod:`repro.obs.metrics`).  Off by default; outputs are
         bit-identical either way.
 
-    The execution knobs (``workers`` through ``max_pool_restarts``) may
+    The execution knobs (``workers`` through ``hierarchy``) may
     equivalently be passed grouped, as
     ``PipelineConfig(..., options=ExecutionOptions(...))``; passing a
     knob both ways is a :class:`TypeError`.  Deprecated keyword aliases
@@ -161,6 +168,7 @@ class PipelineConfig:
     retry_backoff: float = 0.05
     degrade_on_failure: bool = True
     max_pool_restarts: int = 2
+    hierarchy: bool = False
     faults: Any = None
     trace: bool = False
     metrics: bool = False

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.hierarchy import MSComplexHierarchy
 from repro.core.glue import glue_into
 from repro.core.merge import pack_complex, unpack_complex
 from repro.core.result import PipelineResult
@@ -363,9 +364,21 @@ def global_persistence_simplification(
 
     stats.message_bytes = sum(m.nbytes for m in mpi.message_log)
     stats.nodes_after = sum(result.combined_node_counts())
-    stats.output_bytes_after = sum(
-        len(pack_complex(m)) for m in result.output_blocks.values()
-    )
+    # the pipeline's cached serialized records describe the pre-sweep
+    # blocks; re-pack so result.write() emits the simplified complexes
+    new_blobs = {
+        bid: pack_complex(m) for bid, m in result.output_blocks.items()
+    }
+    result.output_blobs = new_blobs
+    stats.output_bytes_after = sum(len(b) for b in new_blobs.values())
+    # a captured multiscale hierarchy describes the pre-sweep blocks
+    # too: re-capture so persisted queries stay consistent with the
+    # globally simplified output
+    if result.hierarchies is not None:
+        result.hierarchies = {
+            bid: MSComplexHierarchy.capture(m)
+            for bid, m in result.output_blocks.items()
+        }
     stats.ghost_nodes = sum(
         1
         for m in result.output_blocks.values()

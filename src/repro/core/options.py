@@ -73,8 +73,11 @@ def validate_choice(name: str, value: object, kinds: tuple[str, ...]) -> None:
 class ExecutionOptions:
     """How one pipeline run executes — scheduling and fault handling.
 
-    Every field is a pure scheduling choice: results are bit-identical
-    across all settings.  Accepted by :func:`repro.api.compute` and
+    Every scheduling field is a pure scheduling choice: the computed
+    complex is bit-identical across all settings.  The one additive
+    knob, ``hierarchy``, never changes the complex either — it only
+    captures an extra artifact (the cancellation hierarchy) alongside
+    it.  Accepted by :func:`repro.api.compute` and
     :class:`repro.core.config.PipelineConfig` as ``options=``; field
     names match the flat ``PipelineConfig`` fields one-to-one.
 
@@ -111,6 +114,13 @@ class ExecutionOptions:
     max_pool_restarts:
         Worker-pool rebuilds tolerated before declaring the pool
         unhealthy.
+    hierarchy:
+        Capture the cancellation hierarchy of every output block after
+        the merge stage and persist it in the ``.msc`` v2 hierarchy
+        footer on :meth:`~repro.core.result.PipelineResult.write`, so
+        any persistence threshold can later be answered as a pure query
+        (:func:`repro.api.query`) with zero re-simplification.  The
+        output complex bytes are unchanged; off by default.
     """
 
     workers: int = 1
@@ -123,6 +133,7 @@ class ExecutionOptions:
     retry_backoff: float = 0.05
     degrade_on_failure: bool = True
     max_pool_restarts: int = 2
+    hierarchy: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:

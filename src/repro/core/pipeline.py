@@ -46,6 +46,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.hierarchy import MSComplexHierarchy
 from repro.core.config import PipelineConfig
 from repro.core.merge import (
     MergePayload,
@@ -715,12 +716,27 @@ class ParallelMSComplexPipeline:
             stats.output_bytes = sum(
                 len(b) for b in output_blobs.values()
             )
+        # multiscale capture: one infinite-persistence sweep per output
+        # block over a throwaway copy records the full cancellation
+        # sequence; level 0 of each hierarchy is the block exactly as
+        # stored, so any later threshold is a pure lookup
+        hierarchies = None
+        if cfg.hierarchy:
+            with tracer.span(
+                "hierarchy.capture", cat="pipeline",
+                blocks=len(output_blocks),
+            ):
+                hierarchies = {
+                    bid: MSComplexHierarchy.capture(output_blocks[bid])
+                    for bid in sorted(output_blocks)
+                }
         return PipelineResult(
             output_blocks=output_blocks,
             decomposition=decomp,
             schedule=schedule,
             stats=stats,
             output_blobs=output_blobs,
+            hierarchies=hierarchies,
         )
 
     def _pooled_merge_prepass(

@@ -4,12 +4,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.core.stats import PipelineStats
 from repro.io.mscfile import write_msc_file
 from repro.morse.msc import MorseSmaleComplex
 from repro.parallel.decomposition import BlockDecomposition
 from repro.parallel.radixk import MergeSchedule
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.hierarchy import MSComplexHierarchy
 
 __all__ = ["PipelineResult"]
 
@@ -32,6 +36,10 @@ class PipelineResult:
     #: format, identical to ``to_payload`` serialization), cached by the
     #: pipeline's write stage so :meth:`write` does not re-pack
     output_blobs: dict[int, bytes] | None = None
+    #: cancellation hierarchy captured per output block when the
+    #: ``hierarchy`` execution option is on (``None`` otherwise);
+    #: persisted by :meth:`write` into the ``.msc`` v2 hierarchy footer
+    hierarchies: dict[int, "MSComplexHierarchy"] | None = None
 
     @property
     def merged_complexes(self) -> list[MorseSmaleComplex]:
@@ -67,7 +75,10 @@ class PipelineResult:
 
         Uses the pipeline's cached serialized records when available
         (byte-identical to serializing ``to_payload()`` afresh), so the
-        complexes are packed exactly once per run.
+        complexes are packed exactly once per run.  When the run
+        captured cancellation hierarchies (the ``hierarchy`` execution
+        option), they are persisted alongside the blocks in the ``.msc``
+        v2 hierarchy footer; otherwise the file is plain v1.
         """
         blobs = self.output_blobs
         if blobs is not None and set(blobs) == set(self.output_blocks):
@@ -77,4 +88,9 @@ class PipelineResult:
                 (bid, self.output_blocks[bid].to_payload())
                 for bid in sorted(self.output_blocks)
             ]
-        return write_msc_file(path, blocks)
+        hier_arrays = None
+        if self.hierarchies:
+            hier_arrays = {
+                bid: h.to_arrays() for bid, h in self.hierarchies.items()
+            }
+        return write_msc_file(path, blocks, hierarchies=hier_arrays)

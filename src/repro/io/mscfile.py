@@ -1,6 +1,6 @@
 """Binary MS-complex block file with footer index (paper §IV-G).
 
-Layout::
+Version 1 layout::
 
     [block 0 record][block 1 record]...[footer][footer_offset][magic]
 
@@ -10,6 +10,21 @@ of section lengths followed by the raw array bytes.  The footer is an
 index of ``(block_id, offset, length)`` triples so that readers can seek
 to any block ("a footer that provides an index to the MS complexes
 contained in the file").  All integers are little-endian.
+
+Version 2 (magic ``MSC2``) adds an optional **hierarchy section**: after
+the block records come hierarchy records (one per block, the flat-array
+:meth:`repro.analysis.hierarchy.MSComplexHierarchy.to_arrays` encoding —
+birth/death intervals plus cancellation persistences), and the footer
+gains a second ``(block_id, offset, length)`` index for them::
+
+    [block records][hierarchy records]
+    [u64 #blocks][block index][u64 #hierarchies][hierarchy index]
+    [footer_offset][b"MSC2"]
+
+Files written without hierarchies keep the v1 layout bit-for-bit, and v1
+files remain fully readable; asking a v1 file for hierarchies raises a
+"no hierarchy recorded" error (see :func:`read_msc_hierarchies`).  The
+layout is documented in ``docs/FILEFORMAT.md``.
 """
 
 from __future__ import annotations
@@ -21,10 +36,13 @@ import numpy as np
 
 from repro.obs.trace import get_tracer
 
-__all__ = ["write_msc_file", "read_msc_file", "serialize_payload",
-           "deserialize_payload", "MAGIC"]
+__all__ = ["write_msc_file", "read_msc_file", "read_msc_hierarchies",
+           "serialize_payload", "deserialize_payload",
+           "serialize_hierarchy", "deserialize_hierarchy",
+           "MAGIC", "MAGIC_V2"]
 
 MAGIC = b"MSC1"
+MAGIC_V2 = b"MSC2"
 
 # payload sections in fixed order: (key, dtype)
 _SECTIONS = (
@@ -42,12 +60,25 @@ _SECTIONS = (
     ("geom_offsets", np.int64),
 )
 
+# hierarchy record sections in fixed order: (key, dtype) — the flat
+# arrays of MSComplexHierarchy.to_arrays()
+_HIERARCHY_SECTIONS = (
+    ("node_address", np.int64),
+    ("node_index", np.uint8),
+    ("node_value", np.float64),
+    ("node_death", np.int64),
+    ("arc_upper_address", np.int64),
+    ("arc_lower_address", np.int64),
+    ("arc_birth", np.int64),
+    ("arc_death", np.int64),
+    ("persistences", np.float64),
+)
 
-def serialize_payload(payload: dict[str, np.ndarray]) -> bytes:
-    """Pack one MS complex payload into a block record."""
-    parts = [struct.pack("<I", len(_SECTIONS))]
+
+def _serialize_sections(payload, sections) -> bytes:
+    parts = [struct.pack("<I", len(sections))]
     blobs = []
-    for key, dtype in _SECTIONS:
+    for key, dtype in sections:
         arr = np.ascontiguousarray(payload[key], dtype=dtype)
         blob = arr.tobytes()
         parts.append(struct.pack("<Q", len(blob)))
@@ -55,12 +86,11 @@ def serialize_payload(payload: dict[str, np.ndarray]) -> bytes:
     return b"".join(parts) + b"".join(blobs)
 
 
-def deserialize_payload(record: bytes) -> dict[str, np.ndarray]:
-    """Inverse of :func:`serialize_payload`."""
+def _deserialize_sections(record, sections) -> dict[str, np.ndarray]:
     (nsec,) = struct.unpack_from("<I", record, 0)
-    if nsec != len(_SECTIONS):
+    if nsec != len(sections):
         raise ValueError(
-            f"record has {nsec} sections, expected {len(_SECTIONS)}"
+            f"record has {nsec} sections, expected {len(sections)}"
         )
     offset = 4
     lengths = []
@@ -68,18 +98,40 @@ def deserialize_payload(record: bytes) -> dict[str, np.ndarray]:
         (ln,) = struct.unpack_from("<Q", record, offset)
         lengths.append(ln)
         offset += 8
-    payload: dict[str, np.ndarray] = {}
-    for (key, dtype), ln in zip(_SECTIONS, lengths):
-        payload[key] = np.frombuffer(
+    out: dict[str, np.ndarray] = {}
+    for (key, dtype), ln in zip(sections, lengths):
+        out[key] = np.frombuffer(
             record, dtype=dtype, count=ln // np.dtype(dtype).itemsize,
             offset=offset,
         ).copy()
         offset += ln
-    return payload
+    return out
+
+
+def serialize_payload(payload: dict[str, np.ndarray]) -> bytes:
+    """Pack one MS complex payload into a block record."""
+    return _serialize_sections(payload, _SECTIONS)
+
+
+def deserialize_payload(record: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`serialize_payload`."""
+    return _deserialize_sections(record, _SECTIONS)
+
+
+def serialize_hierarchy(arrays: dict[str, np.ndarray]) -> bytes:
+    """Pack one hierarchy (``to_arrays`` form) into a v2 record."""
+    return _serialize_sections(arrays, _HIERARCHY_SECTIONS)
+
+
+def deserialize_hierarchy(record: bytes) -> dict[str, np.ndarray]:
+    """Inverse of :func:`serialize_hierarchy`."""
+    return _deserialize_sections(record, _HIERARCHY_SECTIONS)
 
 
 def write_msc_file(
-    path: str | Path, blocks: list[tuple[int, dict[str, np.ndarray]]]
+    path: str | Path,
+    blocks: list[tuple[int, dict[str, np.ndarray]]],
+    hierarchies: dict[int, dict[str, np.ndarray]] | None = None,
 ) -> int:
     """Write MS complex blocks plus footer index; returns bytes written.
 
@@ -90,8 +142,15 @@ def write_msc_file(
     :func:`serialize_payload` / ``pack_complex``), which is written
     verbatim — the pipeline uses this to avoid re-packing complexes it
     already holds in serialized form.
+
+    ``hierarchies`` optionally maps block ids to captured cancellation
+    hierarchies in flat-array form
+    (:meth:`repro.analysis.hierarchy.MSComplexHierarchy.to_arrays`).
+    When given (and non-empty) the file is written in the v2 layout with
+    a hierarchy section; otherwise the bytes are exactly the v1 format.
     """
     index: list[tuple[int, int, int]] = []
+    hier_index: list[tuple[int, int, int]] = []
     with get_tracer().span(
         "io.write_msc", cat="io", path=str(path), blocks=len(blocks)
     ) as sp, open(path, "wb") as f:
@@ -103,27 +162,107 @@ def write_msc_file(
             )
             index.append((int(block_id), f.tell(), len(record)))
             f.write(record)
+        if hierarchies:
+            for block_id in sorted(hierarchies):
+                record = serialize_hierarchy(hierarchies[block_id])
+                hier_index.append((int(block_id), f.tell(), len(record)))
+                f.write(record)
         footer_offset = f.tell()
         f.write(struct.pack("<Q", len(index)))
         for block_id, off, ln in index:
             f.write(struct.pack("<qQQ", block_id, off, ln))
+        if hierarchies:
+            f.write(struct.pack("<Q", len(hier_index)))
+            for block_id, off, ln in hier_index:
+                f.write(struct.pack("<qQQ", block_id, off, ln))
         f.write(struct.pack("<Q", footer_offset))
-        f.write(MAGIC)
+        f.write(MAGIC_V2 if hierarchies else MAGIC)
         sp.annotate(bytes=f.tell())
         return f.tell()
 
 
-def read_msc_file(path: str | Path) -> dict[int, dict[str, np.ndarray]]:
-    """Read all MS complex blocks of a file, keyed by block id."""
-    data = Path(path).read_bytes()
-    if data[-4:] != MAGIC:
+def _parse_footer(
+    data: bytes, path: str | Path
+) -> tuple[int, list[tuple[int, int, int]], list[tuple[int, int, int]]]:
+    """Validate and parse a file's footer.
+
+    Returns ``(version, block_index, hierarchy_index)``; raises a
+    readable :class:`ValueError` on a bad magic or a truncated/corrupt
+    footer.
+    """
+    if len(data) < 12 or data[-4:] not in (MAGIC, MAGIC_V2):
         raise ValueError(f"{path}: not an MSC file (bad magic)")
+    version = 2 if data[-4:] == MAGIC_V2 else 1
     (footer_offset,) = struct.unpack_from("<Q", data, len(data) - 12)
-    (count,) = struct.unpack_from("<Q", data, footer_offset)
+    try:
+        if footer_offset > len(data) - 12:
+            raise ValueError("footer offset points past end of file")
+
+        def read_index(pos: int) -> tuple[list, int]:
+            (count,) = struct.unpack_from("<Q", data, pos)
+            pos += 8
+            entries = []
+            for _ in range(count):
+                block_id, off, ln = struct.unpack_from("<qQQ", data, pos)
+                pos += 24
+                if off + ln > footer_offset:
+                    raise ValueError(
+                        f"record for block {block_id} extends past "
+                        "the footer"
+                    )
+                entries.append((block_id, off, ln))
+            return entries, pos
+
+        blocks, pos = read_index(footer_offset)
+        hiers: list[tuple[int, int, int]] = []
+        if version == 2:
+            hiers, pos = read_index(pos)
+        if pos > len(data) - 12:
+            raise ValueError("footer index overruns the file")
+    except (struct.error, ValueError) as exc:
+        raise ValueError(
+            f"{path}: truncated or corrupt MSC footer ({exc})"
+        ) from None
+    return version, blocks, hiers
+
+
+def read_msc_file(path: str | Path) -> dict[int, dict[str, np.ndarray]]:
+    """Read all MS complex blocks of a file, keyed by block id.
+
+    Reads both v1 and v2 files (the hierarchy section of a v2 file is
+    simply skipped; see :func:`read_msc_hierarchies`).
+    """
+    data = Path(path).read_bytes()
+    _version, blocks, _hiers = _parse_footer(data, path)
     out: dict[int, dict[str, np.ndarray]] = {}
-    pos = footer_offset + 8
-    for _ in range(count):
-        block_id, off, ln = struct.unpack_from("<qQQ", data, pos)
-        pos += 24
+    for block_id, off, ln in blocks:
         out[block_id] = deserialize_payload(data[off: off + ln])
+    return out
+
+
+def read_msc_hierarchies(
+    path: str | Path,
+) -> dict[int, dict[str, np.ndarray]]:
+    """Read the persisted cancellation hierarchies of a v2 file.
+
+    Returns the flat arrays per block id (feed them to
+    :meth:`repro.analysis.hierarchy.MSComplexHierarchy.from_arrays`).
+    Raises a readable :class:`ValueError` for v1 files and for v2 files
+    whose hierarchy index is empty — both mean no hierarchy was recorded
+    when the file was written (recompute with the ``hierarchy`` option
+    enabled to get one).
+    """
+    data = Path(path).read_bytes()
+    version, _blocks, hiers = _parse_footer(data, path)
+    if version == 1 or not hiers:
+        raise ValueError(
+            f"{path}: no hierarchy recorded "
+            f"({'v1 file' if version == 1 else 'empty hierarchy index'}); "
+            "recompute with hierarchy=True "
+            "(ExecutionOptions(hierarchy=True) or repro compute "
+            "--hierarchy) to persist one"
+        )
+    out: dict[int, dict[str, np.ndarray]] = {}
+    for block_id, off, ln in hiers:
+        out[block_id] = deserialize_hierarchy(data[off: off + ln])
     return out

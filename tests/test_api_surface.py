@@ -351,3 +351,106 @@ class TestDeprecationShims:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             repro.PipelineConfig(num_blocks=8, persistence_threshold=0.1)
+
+
+# ---------------------------------------------------------------------------
+# the hierarchy knob and the multiscale query surface
+# ---------------------------------------------------------------------------
+
+
+class TestHierarchyKnob:
+    def test_default_off(self, facade_field):
+        res = repro.compute(
+            facade_field, persistence=0.05,
+            options=repro.ExecutionOptions(),
+        )
+        assert res.hierarchies is None
+
+    def test_options_spelling(self, facade_field):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            res = repro.compute(
+                facade_field, persistence=0.05,
+                options=repro.ExecutionOptions(hierarchy=True),
+            )
+        assert set(res.hierarchies) == set(res.output_blocks)
+        assert all(h.num_levels >= 0 for h in res.hierarchies.values())
+
+    def test_flat_spelling_warns_and_works(self, facade_field):
+        with pytest.warns(DeprecationWarning, match="hierarchy"):
+            res = repro.compute(facade_field, persistence=0.05,
+                                hierarchy=True)
+        assert res.hierarchies is not None
+
+    def test_both_spellings_rejected(self, facade_field):
+        with pytest.raises(TypeError, match="both options="):
+            repro.compute(
+                facade_field, persistence=0.05, hierarchy=True,
+                options=repro.ExecutionOptions(hierarchy=True),
+            )
+
+    def test_config_spelling(self, facade_field):
+        cfg = repro.PipelineConfig(num_blocks=1, persistence_threshold=0.05,
+                                   hierarchy=True)
+        res = repro.ParallelMSComplexPipeline(cfg).run(facade_field)
+        assert res.hierarchies is not None
+        assert cfg.execution_options.hierarchy is True
+
+    def test_knob_is_additive(self, facade_field):
+        """hierarchy=True never changes the complex by a byte."""
+        from repro.core.merge import pack_complex
+
+        plain = repro.compute(
+            facade_field, persistence=0.05, ranks=4,
+            options=repro.ExecutionOptions(retry_backoff=0.0),
+        )
+        with_h = repro.compute(
+            facade_field, persistence=0.05, ranks=4,
+            options=repro.ExecutionOptions(retry_backoff=0.0,
+                                           hierarchy=True),
+        )
+        assert pack_complex(plain.merged_complexes[0]) == pack_complex(
+            with_h.merged_complexes[0]
+        )
+
+
+class TestQuerySurface:
+    def test_exported_at_top_level(self):
+        assert repro.query is repro.api.query
+        assert repro.load_hierarchy is repro.api.load_hierarchy
+        assert "query" in repro.__all__
+        assert "load_hierarchy" in repro.__all__
+
+    def test_end_to_end(self, facade_field, tmp_path):
+        res = repro.compute(
+            facade_field, persistence=0.05,
+            options=repro.ExecutionOptions(hierarchy=True),
+        )
+        path = tmp_path / "h.msc"
+        res.write(str(path))
+        hierarchies = repro.load_hierarchy(str(path))
+        assert set(hierarchies) == set(res.hierarchies)
+        answer = repro.query(str(path), persistence=0.1)
+        assert answer.num_nodes >= 1
+        assert answer.to_dict()["persistence"] == 0.1
+
+    def test_query_selector_validation(self, facade_field, tmp_path):
+        res = repro.compute(
+            facade_field, persistence=0.05,
+            options=repro.ExecutionOptions(hierarchy=True),
+        )
+        path = tmp_path / "h.msc"
+        res.write(str(path))
+        with pytest.raises(ValueError, match="exactly one"):
+            repro.query(str(path))
+        with pytest.raises(ValueError, match="exactly one"):
+            repro.query(str(path), persistence=0.1, top_k=1)
+
+    def test_write_without_hierarchy_then_query_errors(
+        self, facade_field, tmp_path
+    ):
+        res = repro.compute(facade_field, persistence=0.05)
+        path = tmp_path / "v1.msc"
+        res.write(str(path))
+        with pytest.raises(ValueError, match="no hierarchy recorded"):
+            repro.query(str(path), persistence=0.1)

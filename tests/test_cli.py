@@ -372,3 +372,110 @@ class TestFaultToleranceFlags:
         ])
         assert rc == 0
         assert "critical points" in capsys.readouterr().out
+
+
+class TestQuery:
+    @pytest.fixture
+    def hier_msc(self, volume, tmp_path, capsys):
+        """A v2 .msc produced by `compute --hierarchy`."""
+        path = tmp_path / "hier.msc"
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--blocks", "2", "--retry-backoff", "0",
+            "--hierarchy", "--output", str(path),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        return path
+
+    def test_parser_accepts_hierarchy_flag(self):
+        args = build_parser().parse_args(
+            ["compute", "v.raw", "--dims", "8", "8", "8", "--hierarchy"]
+        )
+        assert args.hierarchy is True
+
+    def test_threshold_sweep(self, hier_msc, capsys):
+        rc = main([
+            "query", str(hier_msc),
+            "--persistence", "0.0", "0.05", "0.2", "10.0",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "hierarchy depth" in out
+        assert "persistence" in out and "arcs" in out
+        # header + per-threshold rows under the two banner lines
+        assert len(out.strip().splitlines()) == 2 + 4
+
+    def test_top_k(self, hier_msc, capsys):
+        rc = main(["query", str(hier_msc), "--top-k", "3"])
+        assert rc == 0
+        assert "hierarchy depth" in capsys.readouterr().out
+
+    def test_json_output(self, hier_msc, capsys):
+        import json
+
+        rc = main([
+            "query", str(hier_msc), "--json",
+            "--persistence", "0.0", "0.1",
+        ])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["file"] == str(hier_msc)
+        assert record["hierarchy_depth"] >= 1
+        assert len(record["queries"]) == 2
+        for q in record["queries"]:
+            assert set(q) >= {"persistence", "levels", "num_nodes",
+                              "num_arcs", "node_counts_by_index"}
+
+    def test_query_matches_library_answer(self, hier_msc, capsys):
+        import json
+
+        from repro.analysis.query import query as lib_query
+
+        rc = main([
+            "query", str(hier_msc), "--json", "--persistence", "0.07",
+        ])
+        assert rc == 0
+        record = json.loads(capsys.readouterr().out)
+        ref = lib_query(str(hier_msc), persistence=0.07)
+        assert record["queries"][0] == ref.to_dict()
+
+    def test_v1_file_fails_readably(self, volume, tmp_path, capsys):
+        path = tmp_path / "v1.msc"
+        rc = main([
+            "compute", volume.path,
+            "--dims", *map(str, volume.dims),
+            "--retry-backoff", "0", "--output", str(path),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["query", str(path), "--persistence", "0.1"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no hierarchy recorded" in err
+
+    def test_missing_file_fails_readably(self, tmp_path, capsys):
+        rc = main([
+            "query", str(tmp_path / "nope.msc"), "--persistence", "0.1",
+        ])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_selector_required(self, hier_msc, capsys):
+        rc = main(["query", str(hier_msc)])
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_selectors_exclusive(self, hier_msc, capsys):
+        rc = main([
+            "query", str(hier_msc), "--persistence", "0.1",
+            "--top-k", "2",
+        ])
+        assert rc == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_negative_top_k_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "f.msc", "--top-k", "-1"])

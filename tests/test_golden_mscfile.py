@@ -22,10 +22,18 @@ import pytest
 
 import repro
 from repro import ExecutionOptions
-from repro.io.mscfile import MAGIC, read_msc_file, write_msc_file
+from repro.analysis.query import load_hierarchy
+from repro.io.mscfile import (
+    MAGIC,
+    MAGIC_V2,
+    read_msc_file,
+    read_msc_hierarchies,
+    write_msc_file,
+)
 from repro.morse.msc import MorseSmaleComplex
 
 GOLDEN = Path(__file__).parent / "data" / "golden_bumps8.msc"
+GOLDEN_HIER = Path(__file__).parent / "data" / "golden_bumps8_hier.msc"
 
 
 def golden_result():
@@ -34,6 +42,20 @@ def golden_result():
     field = np.random.default_rng(42).random((9, 9, 9))
     return repro.compute(field, persistence=0.1, ranks=8,
                          options=ExecutionOptions(retry_backoff=0.0))
+
+
+def golden_hier_result(**extra):
+    """Same run as :func:`golden_result` with the hierarchy captured —
+    the committed ``golden_bumps8_hier.msc`` (v2) regenerates as::
+
+        PYTHONPATH=src python -c "import tests.test_golden_mscfile as g; \
+            g.golden_hier_result().write(str(g.GOLDEN_HIER))"
+    """
+    field = np.random.default_rng(42).random((9, 9, 9))
+    return repro.compute(field, persistence=0.1, ranks=8,
+                         options=ExecutionOptions(retry_backoff=0.0,
+                                                  hierarchy=True,
+                                                  **extra))
 
 
 def test_pipeline_output_matches_golden_bytes(tmp_path):
@@ -162,3 +184,63 @@ def test_golden_footer_index_is_consistent():
         assert off == end  # records are packed back to back
         end = off + ln
     assert end == footer_offset  # index spans exactly all records
+
+
+class TestGoldenHierarchy:
+    """Pins for the v2 golden (same run with ``hierarchy=True``)."""
+
+    def test_pipeline_output_matches_golden_bytes(self, tmp_path):
+        out = tmp_path / "regen_hier.msc"
+        golden_hier_result().write(str(out))
+        assert out.read_bytes() == GOLDEN_HIER.read_bytes()
+
+    def test_traced_run_matches_golden_bytes(self, tmp_path):
+        field = np.random.default_rng(42).random((9, 9, 9))
+        result = repro.compute(field, persistence=0.1, ranks=8,
+                               options=ExecutionOptions(retry_backoff=0.0,
+                                                        hierarchy=True),
+                               trace=True, metrics=True)
+        out = tmp_path / "traced_hier.msc"
+        result.write(str(out))
+        assert out.read_bytes() == GOLDEN_HIER.read_bytes()
+
+    @pytest.mark.slow
+    def test_pooled_shm_run_matches_golden_bytes(self, tmp_path):
+        """Hierarchy capture happens on the merged global complex, so
+        the persisted hierarchy is identical however compute ran."""
+        result = golden_hier_result(workers=2, transport="shm")
+        out = tmp_path / "pooled_hier.msc"
+        result.write(str(out))
+        assert out.read_bytes() == GOLDEN_HIER.read_bytes()
+
+    def test_v2_magic_and_block_region_extends_v1(self):
+        data = GOLDEN_HIER.read_bytes()
+        assert data[-4:] == MAGIC_V2
+        v1 = GOLDEN.read_bytes()
+        (v1_footer,) = struct.unpack_from("<Q", v1, len(v1) - 12)
+        # v2 appends the hierarchy after the v1 block-record region:
+        # the stored complexes are byte-identical across the versions
+        assert data[:v1_footer] == v1[:v1_footer]
+
+    def test_blocks_read_back_identical_to_v1_golden(self):
+        v1_blocks = read_msc_file(GOLDEN)
+        v2_blocks = read_msc_file(GOLDEN_HIER)
+        assert set(v2_blocks) == set(v1_blocks) == {0}
+        for key, arr in v1_blocks[0].items():
+            np.testing.assert_array_equal(v2_blocks[0][key], arr)
+
+    def test_hierarchy_reads_back(self):
+        arrays = read_msc_hierarchies(GOLDEN_HIER)
+        assert set(arrays) == {0}
+        hierarchies = load_hierarchy(GOLDEN_HIER)
+        assert hierarchies[0].num_levels == len(
+            arrays[0]["persistences"]
+        ) >= 100
+        # the persisted hierarchy matches an in-memory recomputation
+        ref = golden_hier_result().hierarchies[0]
+        for key, arr in ref.to_arrays().items():
+            np.testing.assert_array_equal(arrays[0][key], arr)
+
+    def test_v1_golden_has_no_hierarchy(self):
+        with pytest.raises(ValueError, match="no hierarchy recorded"):
+            read_msc_hierarchies(GOLDEN)

@@ -5,8 +5,12 @@ import pytest
 
 from repro.io.mscfile import (
     MAGIC,
+    MAGIC_V2,
+    deserialize_hierarchy,
     deserialize_payload,
     read_msc_file,
+    read_msc_hierarchies,
+    serialize_hierarchy,
     serialize_payload,
     write_msc_file,
 )
@@ -77,3 +81,115 @@ class TestFileRoundtrip:
         write_msc_file(path, [(3, empty)])
         blocks = read_msc_file(path)
         assert blocks[3]["node_address"].size == 0
+
+
+def _toy_hierarchy(levels=4, nodes=6, arcs=9, seed=0):
+    """Hand-built flat hierarchy arrays in ``to_arrays`` form."""
+    rng = np.random.default_rng(seed)
+    return {
+        "node_address": rng.integers(0, 500, nodes).astype(np.int64),
+        "node_index": rng.integers(0, 4, nodes).astype(np.uint8),
+        "node_value": rng.random(nodes),
+        "node_death": rng.integers(0, levels + 1, nodes).astype(np.int64),
+        "arc_upper_address": rng.integers(0, 500, arcs).astype(np.int64),
+        "arc_lower_address": rng.integers(0, 500, arcs).astype(np.int64),
+        "arc_birth": rng.integers(0, levels, arcs).astype(np.int64),
+        "arc_death": rng.integers(0, levels + 1, arcs).astype(np.int64),
+        "persistences": np.sort(rng.random(levels)),
+    }
+
+
+class TestHierarchyFooter:
+    """The v2 hierarchy footer: round-trip, compat, corruption."""
+
+    def test_record_roundtrip_bit_exact(self):
+        arrays = _toy_hierarchy()
+        back = deserialize_hierarchy(serialize_hierarchy(arrays))
+        assert set(back) == set(arrays)
+        for key, arr in arrays.items():
+            assert back[key].dtype == arr.dtype
+            np.testing.assert_array_equal(back[key], arr)
+
+    def test_v2_file_roundtrip(self, tmp_path, payload):
+        path = tmp_path / "v2.msc"
+        hier = {0: _toy_hierarchy(seed=1), 7: _toy_hierarchy(seed=2)}
+        nbytes = write_msc_file(
+            path, [(0, payload), (7, payload)], hierarchies=hier
+        )
+        assert path.stat().st_size == nbytes
+        assert path.read_bytes()[-4:] == MAGIC_V2
+        blocks = read_msc_file(path)
+        assert set(blocks) == {0, 7}
+        for key in payload:
+            np.testing.assert_array_equal(blocks[7][key], payload[key])
+        back = read_msc_hierarchies(path)
+        assert set(back) == {0, 7}
+        for bid, arrays in hier.items():
+            for key, arr in arrays.items():
+                np.testing.assert_array_equal(back[bid][key], arr)
+
+    def test_write_read_write_identity(self, tmp_path, payload):
+        """A re-serialized v2 file is byte-identical."""
+        a, b = tmp_path / "a.msc", tmp_path / "b.msc"
+        hier = {4: _toy_hierarchy(seed=3)}
+        write_msc_file(a, [(4, payload)], hierarchies=hier)
+        write_msc_file(
+            b,
+            [(4, read_msc_file(a)[4])],
+            hierarchies=read_msc_hierarchies(a),
+        )
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_no_hierarchy_stays_v1(self, tmp_path, payload):
+        """Omitting hierarchies yields exact v1 bytes — old readers and
+        golden pins are unaffected by the format revision."""
+        v1, none_, empty = (tmp_path / n for n in ("a", "b", "c"))
+        write_msc_file(v1, [(0, payload)])
+        write_msc_file(none_, [(0, payload)], hierarchies=None)
+        write_msc_file(empty, [(0, payload)], hierarchies={})
+        assert v1.read_bytes()[-4:] == MAGIC
+        assert none_.read_bytes() == v1.read_bytes()
+        assert empty.read_bytes() == v1.read_bytes()
+
+    def test_v1_file_raises_readable_error(self, tmp_path, payload):
+        path = tmp_path / "v1.msc"
+        write_msc_file(path, [(0, payload)])
+        with pytest.raises(ValueError, match="no hierarchy recorded"):
+            read_msc_hierarchies(path)
+
+    def test_missing_hierarchy_error_names_the_fix(self, tmp_path, payload):
+        path = tmp_path / "v1.msc"
+        write_msc_file(path, [(0, payload)])
+        with pytest.raises(ValueError, match="hierarchy=True"):
+            read_msc_hierarchies(path)
+
+    def test_truncated_v2_file_rejected(self, tmp_path, payload):
+        path = tmp_path / "t.msc"
+        write_msc_file(path, [(0, payload)],
+                       hierarchies={0: _toy_hierarchy()})
+        data = path.read_bytes()
+        # keep the trailing magic, drop bytes from the middle
+        path.write_bytes(data[: len(data) // 2] + data[-12:])
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            read_msc_file(path)
+
+    def test_corrupt_footer_offset_rejected(self, tmp_path, payload):
+        path = tmp_path / "c.msc"
+        write_msc_file(path, [(0, payload)],
+                       hierarchies={0: _toy_hierarchy()})
+        data = bytearray(path.read_bytes())
+        data[-12:-4] = (2**63 - 1).to_bytes(8, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="truncated or corrupt"):
+            read_msc_hierarchies(path)
+
+    def test_v2_prefix_is_v1_block_region(self, tmp_path, payload):
+        """v2 appends after the block records: the block-record region
+        of a v2 file is byte-identical to the v1 file's."""
+        v1, v2 = tmp_path / "v1.msc", tmp_path / "v2.msc"
+        write_msc_file(v1, [(0, payload), (1, payload)])
+        write_msc_file(v2, [(0, payload), (1, payload)],
+                       hierarchies={0: _toy_hierarchy()})
+        footer_offset = int.from_bytes(v1.read_bytes()[-12:-4], "little")
+        assert (v2.read_bytes()[:footer_offset]
+                == v1.read_bytes()[:footer_offset])
