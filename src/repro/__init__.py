@@ -42,6 +42,17 @@ persistence threshold as a pure lookup (no re-simplification)::
     from repro import query
     print(query("out.msc", persistence=0.1).node_counts_by_index())
 
+Streaming time series — a persistent session reuses the worker pools,
+the shared-memory slot, and the cached decomposition/merge plan across
+timesteps (bit-identical to per-step ``compute`` calls, several times
+the steady-state throughput; volume files stream out-of-core via the
+``mmap`` transport)::
+
+    with repro.open_session(persistence=0.05, ranks=8,
+                            options=ExecutionOptions(workers=4)) as s:
+        for field in timesteps:
+            result = s.run(field)
+
 The lower-level entry points (``compute_morse_smale_complex`` for a bare
 serial complex with its cancellation hierarchy,
 ``ParallelMSComplexPipeline`` for full configuration control) remain
@@ -49,7 +60,7 @@ available below the facade.
 """
 
 from repro import api, obs
-from repro.api import compute, load_hierarchy, query
+from repro.api import compute, load_hierarchy, open_session, query
 from repro.core.config import MergeSchedule, PipelineConfig
 from repro.core.options import ExecutionOptions
 from repro.core.pipeline import (
@@ -57,6 +68,7 @@ from repro.core.pipeline import (
     compute_morse_smale_complex,
 )
 from repro.core.result import PipelineResult
+from repro.core.session import PipelineSession
 from repro.morse.msc import MorseSmaleComplex
 from repro.morse.gradient import compute_discrete_gradient
 from repro.mesh.grid import StructuredGrid
@@ -70,6 +82,7 @@ __all__ = [
     "ParallelMSComplexPipeline",
     "PipelineConfig",
     "PipelineResult",
+    "PipelineSession",
     "StructuredGrid",
     "api",
     "compute",
@@ -77,6 +90,7 @@ __all__ = [
     "compute_morse_smale_complex",
     "load_hierarchy",
     "obs",
+    "open_session",
     "query",
     "__version__",
 ]

@@ -41,11 +41,12 @@ from repro.core.config import PipelineConfig
 from repro.core.options import ExecutionOptions
 from repro.core.pipeline import ParallelMSComplexPipeline
 from repro.core.result import PipelineResult
+from repro.core.session import PipelineSession
 from repro.io.volume import VolumeSpec
 from repro.mesh.grid import StructuredGrid
 
-__all__ = ["ExecutionOptions", "QueryResult", "compute",
-           "load_hierarchy", "query"]
+__all__ = ["ExecutionOptions", "PipelineSession", "QueryResult",
+           "compute", "load_hierarchy", "open_session", "query"]
 
 #: "keyword not passed" marker for the deprecated flat execution
 #: keywords (several have meaningful defaults, including ``None``)
@@ -134,34 +135,108 @@ def compute(
         every routing — serial runs included — so downstream code never
         branches on how the result was produced.
     """
-    flat = {
-        name: value
-        for name, value in (
-            ("workers", workers),
-            ("transport", transport),
-            ("merge_executor", merge_executor),
-            ("kernel_backend", kernel_backend),
-            ("block_timeout", block_timeout),
-            ("max_retries", max_retries),
-            ("retry_backoff", retry_backoff),
-            ("degrade_on_failure", degrade_on_failure),
-            ("hierarchy", hierarchy),
-        )
-        if value is not _UNSET
-    }
+    cfg = _facade_config(
+        "compute",
+        persistence=persistence,
+        ranks=ranks,
+        merge_radix=merge_radix,
+        validate=validate,
+        options=options,
+        faults=faults,
+        trace=trace,
+        metrics=metrics,
+        flat={
+            name: value
+            for name, value in (
+                ("workers", workers),
+                ("transport", transport),
+                ("merge_executor", merge_executor),
+                ("kernel_backend", kernel_backend),
+                ("block_timeout", block_timeout),
+                ("max_retries", max_retries),
+                ("retry_backoff", retry_backoff),
+                ("degrade_on_failure", degrade_on_failure),
+                ("hierarchy", hierarchy),
+            )
+            if value is not _UNSET
+        },
+    )
+    pipeline = ParallelMSComplexPipeline(cfg)
+    if isinstance(values, VolumeSpec):
+        return pipeline.run(volume=values)
+    return pipeline.run(values)
+
+
+def open_session(
+    *,
+    persistence: float = 0.0,
+    ranks: int = 1,
+    merge_radix: int | Sequence[int] | str = 2,
+    validate: bool = False,
+    options: ExecutionOptions | None = None,
+    faults: object | None = None,
+    trace: bool = False,
+    metrics: bool = False,
+) -> PipelineSession:
+    """Open a persistent :class:`~repro.core.session.PipelineSession`.
+
+    Takes the same keywords as :func:`compute` (minus the input field
+    and the deprecated flat execution keywords) and returns a session
+    whose :meth:`~repro.core.session.PipelineSession.run` processes one
+    timestep per call while reusing the worker pools, the shared-memory
+    slot, and the cached plan across steps::
+
+        with repro.open_session(persistence=0.05, ranks=8,
+                                options=ExecutionOptions(workers=4)) as s:
+            for field in timesteps:
+                result = s.run(field)
+
+    Each step is bit-identical to ``repro.compute(field, ...)`` with the
+    same settings.  Close the session (or use ``with``) to release the
+    pools and shared memory.
+    """
+    cfg = _facade_config(
+        "open_session",
+        persistence=persistence,
+        ranks=ranks,
+        merge_radix=merge_radix,
+        validate=validate,
+        options=options,
+        faults=faults,
+        trace=trace,
+        metrics=metrics,
+        flat={},
+    )
+    return PipelineSession(cfg)
+
+
+def _facade_config(
+    entry: str,
+    *,
+    persistence: float,
+    ranks: int,
+    merge_radix: int | Sequence[int] | str,
+    validate: bool,
+    options: ExecutionOptions | None,
+    faults: object | None,
+    trace: bool,
+    metrics: bool,
+    flat: dict,
+) -> PipelineConfig:
+    """The facade's shared keyword-to-``PipelineConfig`` translation."""
     if flat:
         names = ", ".join(sorted(flat))
         if options is not None:
             raise TypeError(
-                f"compute() got both options= and the flat execution "
+                f"{entry}() got both options= and the flat execution "
                 f"keyword(s) {names}"
             )
         warnings.warn(
-            f"the flat execution keyword(s) {names} of repro.compute() "
+            f"the flat execution keyword(s) {names} of repro.{entry}() "
             "are deprecated; pass options=ExecutionOptions(...) instead "
             "(see docs/API.md)",
             DeprecationWarning,
-            stacklevel=2,
+            stacklevel=3,
         )
     opts = options if options is not None else ExecutionOptions(**flat)
     if ranks < 1:
@@ -181,7 +256,7 @@ def compute(
     else:
         radices, max_radix = [int(r) for r in merge_radix], 8
 
-    cfg = PipelineConfig(
+    return PipelineConfig(
         num_blocks=ranks,
         num_procs=ranks,
         persistence_threshold=persistence,
@@ -196,7 +271,3 @@ def compute(
         trace=trace,
         metrics=metrics,
     )
-    pipeline = ParallelMSComplexPipeline(cfg)
-    if isinstance(values, VolumeSpec):
-        return pipeline.run(volume=values)
-    return pipeline.run(values)

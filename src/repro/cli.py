@@ -9,13 +9,18 @@ Commands::
 
     python -m repro.cli compute volume.raw --dims 64 64 64 --dtype float32 \
         --blocks 8 --persistence 0.05 --radices 8 --output out.msc
+    python -m repro.cli stream step_*.raw --dims 64 64 64 --blocks 8 \
+        --workers 4 --persistence 0.05 --output-dir out/
     python -m repro.cli info out.msc
     python -m repro.cli query out.msc --persistence 0.01 0.05 0.2
     python -m repro.cli synth sinusoid --points 64 --features 4 out.raw
 
 ``query`` serves thresholds out of the hierarchy footer a
 ``compute --hierarchy`` run persisted — every row is a pure lookup, the
-volume is never re-simplified.
+volume is never re-simplified.  ``stream`` pushes a whole time series of
+volume files through one persistent session: worker pools, shared
+memory, and the decomposition plan are reused across steps, and the
+``mmap`` transport keeps the driver from ever materializing a volume.
 """
 
 from __future__ import annotations
@@ -102,11 +107,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shared-memory worker processes for the compute "
                         "stage (default: 1, serial)")
     c.add_argument("--transport", default="auto",
-                   choices=("auto", "pickle", "shm"),
+                   choices=("auto", "pickle", "shm", "mmap"),
                    help="block-data transport to pool workers: pickle "
-                        "ships subarrays by value, shm publishes the "
-                        "volume once into shared memory (auto: shm "
-                        "exactly when a process pool runs)")
+                        "ships subarrays by value, shm publishes an "
+                        "in-memory volume once into shared memory, mmap "
+                        "(volume-file inputs) lets workers subarray-read "
+                        "straight from disk without the driver ever "
+                        "materializing the volume (auto: mmap for file "
+                        "inputs, shm exactly when a process pool runs)")
     c.add_argument("--executor", default="auto",
                    choices=("auto", "serial", "process"),
                    help="compute-stage backend (default: auto — a "
@@ -160,6 +168,58 @@ def build_parser() -> argparse.ArgumentParser:
                    help="aggregate run metrics (counters/gauges/"
                         "histograms across all workers) and write them "
                         "as JSON")
+
+    st = sub.add_parser(
+        "stream",
+        help="stream a time series of volumes through one persistent "
+             "session (pools, shared memory, and the plan are reused "
+             "across steps; out-of-core via the mmap transport)",
+    )
+    st.add_argument("volumes", nargs="+",
+                    help="raw volume files, one per timestep "
+                         "(identical dims and dtype)")
+    st.add_argument("--dims", nargs=3, type=int, required=True,
+                    metavar=("NX", "NY", "NZ"))
+    st.add_argument("--dtype", default="float32",
+                    choices=("uint8", "float32", "float64"))
+    st.add_argument("--blocks", type=_positive_int, default=1,
+                    help="number of blocks (power of two)")
+    st.add_argument("--procs", type=_positive_int, default=None,
+                    help="virtual processes (default: one per block)")
+    st.add_argument("--workers", type=_positive_int, default=1,
+                    help="shared-memory worker processes (default: 1)")
+    st.add_argument("--transport", default="auto",
+                    choices=("auto", "pickle", "shm", "mmap"),
+                    help="block-data transport (default: auto — mmap "
+                         "for these file inputs)")
+    st.add_argument("--executor", default="auto",
+                    choices=("auto", "serial", "process"))
+    st.add_argument("--merge-executor", default="auto",
+                    choices=("auto", "serial", "pool"))
+    st.add_argument("--kernel-backend", default="auto",
+                    choices=("auto", "dfs", "pointer"))
+    st.add_argument("--persistence", type=float, default=0.0,
+                    help="simplification threshold")
+    st.add_argument("--max-retries", type=int, default=2, metavar="N")
+    st.add_argument("--retry-backoff", type=float, default=0.05,
+                    metavar="SECONDS")
+    st.add_argument("--no-degrade", action="store_true")
+    st.add_argument("--radices", nargs="*", type=int, default=None,
+                    help="merge radices (default: full merge)")
+    st.add_argument("--no-merge", action="store_true",
+                    help="skip the merge stage entirely")
+    st.add_argument("--min-value", type=float, default=None,
+                    help="value floor for the significant-extrema "
+                         "monitoring series")
+    st.add_argument("--max-value", type=float, default=None,
+                    help="value ceiling for the significant-extrema "
+                         "monitoring series")
+    st.add_argument("--output-dir", default=None,
+                    help="write each step's complex to "
+                         "DIR/step_NNNN.msc")
+    st.add_argument("--json", action="store_true",
+                    help="emit the per-step records and session "
+                         "summary as JSON on stdout")
 
     i = sub.add_parser("info", help="summarize an MS complex file")
     i.add_argument("mscfile")
@@ -275,6 +335,121 @@ def _cmd_compute(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    import json
+    import os
+
+    from repro.core.config import ExecutionOptions, PipelineConfig
+    from repro.core.insitu import InSituAnalyzer
+    from repro.io.volume import VolumeSpec
+    from repro.parallel.executor import FaultToleranceError
+
+    specs = []
+    for path in args.volumes:
+        spec = VolumeSpec(path, tuple(args.dims), args.dtype)
+        try:
+            size = os.stat(path).st_size
+        except OSError as exc:
+            return _fail(
+                f"cannot read volume {path!r}: {exc.strerror or exc}"
+            )
+        if size != spec.nbytes:
+            return _fail(
+                f"volume {path!r} holds {size} bytes but dims "
+                f"{tuple(args.dims)} with dtype {args.dtype} require "
+                f"{spec.nbytes}"
+            )
+        specs.append(spec)
+    if args.no_merge:
+        radices = "none"
+    elif args.radices is None:
+        radices = "full"
+    else:
+        radices = args.radices
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+    try:
+        cfg = PipelineConfig(
+            num_blocks=args.blocks,
+            num_procs=args.procs,
+            persistence_threshold=args.persistence,
+            merge_radices=radices,
+            options=ExecutionOptions(
+                workers=args.workers,
+                executor=args.executor,
+                merge_executor=args.merge_executor,
+                transport=args.transport,
+                kernel_backend=args.kernel_backend,
+                max_retries=args.max_retries,
+                retry_backoff=args.retry_backoff,
+                degrade_on_failure=not args.no_degrade,
+            ),
+        )
+        # fail on impossible transport/input combinations before the
+        # first step, not midway through the series
+        cfg.resolve_transport("volume")
+    except ValueError as exc:
+        return _fail(str(exc))
+    rows = []
+    try:
+        with InSituAnalyzer(
+            cfg,
+            feature_min_value=args.min_value,
+            feature_max_value=args.max_value,
+        ) as analyzer:
+            if not args.json:
+                print(f"{'step':>4} {'volume':<24} {'min':>5} "
+                      f"{'1sad':>5} {'2sad':>5} {'max':>5} "
+                      f"{'seconds':>8}")
+            for idx, spec in enumerate(specs):
+                record, result = analyzer.step(spec)
+                c = record.node_counts
+                if not args.json:
+                    name = os.path.basename(spec.path)
+                    print(f"{idx:>4} {name:<24} {c[0]:>5} {c[1]:>5} "
+                          f"{c[2]:>5} {c[3]:>5} "
+                          f"{record.real_seconds:>8.3f}")
+                if args.output_dir:
+                    out = os.path.join(
+                        args.output_dir, f"step_{idx:04d}.msc"
+                    )
+                    result.write(out)
+                rows.append(
+                    {
+                        "step": idx,
+                        "volume": spec.path,
+                        "node_counts": list(c),
+                        "significant_minima": record.significant_minima,
+                        "significant_maxima": record.significant_maxima,
+                        "output_bytes": record.output_bytes,
+                        "real_seconds": record.real_seconds,
+                    }
+                )
+            stats = analyzer.session.stats
+            if args.json:
+                print(json.dumps(
+                    {
+                        "steps": rows,
+                        "session": {
+                            "runs": stats.runs,
+                            "pool_reuse_hits": stats.pool_reuse_hits,
+                            "plan_cache_hits": stats.plan_cache_hits,
+                            "shm_rebinds": stats.shm_rebinds,
+                            "shm_republishes": stats.shm_republishes,
+                            "steady_state_steps_per_sec": (
+                                stats.steady_state_steps_per_sec()
+                            ),
+                        },
+                    },
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                print(stats.describe())
+    except (OSError, ValueError, FaultToleranceError) as exc:
+        return _fail(str(exc))
+    return 0
+
+
 def _cmd_info(args) -> int:
     from repro.io.mscfile import read_msc_file
     from repro.morse.msc import MorseSmaleComplex
@@ -369,6 +544,7 @@ def main(argv: list[str] | None = None) -> int:
     _configure_logging(args.verbose)
     handlers = {
         "compute": _cmd_compute,
+        "stream": _cmd_stream,
         "info": _cmd_info,
         "query": _cmd_query,
         "synth": _cmd_synth,

@@ -90,9 +90,14 @@ class PipelineConfig:
         ships each block's subarray by value inside its spec;
         ``"shm"`` publishes the volume once into a POSIX shared-memory
         segment and ships only a tiny handle per block (zero-copy,
-        retries re-read from the segment).  ``"auto"`` (default) picks
-        ``"shm"`` exactly when the compute stage runs on a process
-        pool.  Results are bit-identical on either transport.
+        retries re-read from the segment); ``"mmap"`` (volume-file
+        inputs only) ships just the file spec + box and workers
+        subarray-read straight from disk — the driver never
+        materializes the volume.  ``"auto"`` (default) picks ``"shm"``
+        exactly when the compute stage runs on a process pool, and
+        ``"mmap"`` whenever the input is a
+        :class:`repro.io.volume.VolumeSpec`.  Results are bit-identical
+        on every transport.
     kernel_backend:
         V-path tracing backend inside each block's compute: ``"dfs"``
         (the per-path depth-first tracer), ``"pointer"`` (the
@@ -233,12 +238,55 @@ class PipelineConfig:
 
     @property
     def resolved_transport(self) -> str:
-        """Concrete transport kind after resolving ``"auto"``.
+        """Concrete transport kind after resolving ``"auto"``, for an
+        in-memory input.
 
         Shared memory pays off exactly when block data crosses a process
         boundary; in-process (serial) execution reads the driver's own
         arrays, so ``"auto"`` keeps the plain by-value path there.
+        Volume-file inputs resolve differently — see
+        :meth:`resolve_transport`.
         """
+        return self.resolve_transport("memory")
+
+    def resolve_transport(self, input_kind: str = "memory") -> str:
+        """Concrete transport after resolving ``"auto"`` for an input.
+
+        ``input_kind`` is ``"memory"`` (a vertex array / grid held by
+        the driver) or ``"volume"`` (a :class:`repro.io.volume.VolumeSpec`
+        file).  Impossible combinations fail here, readably, instead of
+        silently falling back mid-pipeline:
+
+        - ``shm`` + volume input: there is no in-memory array to
+          publish — the out-of-core point is that the driver never
+          holds one.  Use ``mmap`` (or ``auto``).
+        - ``mmap`` + in-memory input: there is no file for workers to
+          map.  Use ``shm``/``pickle`` (or ``auto``), or write the
+          field with :func:`repro.io.volume.write_volume` first.
+        """
+        if input_kind not in ("memory", "volume"):
+            raise ValueError(
+                f"input_kind must be 'memory' or 'volume', got "
+                f"{input_kind!r}"
+            )
+        if input_kind == "volume":
+            if self.transport in ("auto", "mmap"):
+                return "mmap"
+            if self.transport == "shm":
+                raise ValueError(
+                    "transport 'shm' needs an in-memory input to publish; "
+                    "a volume-file input streams blocks straight from "
+                    "disk — use transport='mmap' (or 'auto'), or load "
+                    "the volume yourself with repro.io.volume.read_volume"
+                )
+            return "pickle"
+        if self.transport == "mmap":
+            raise ValueError(
+                "transport 'mmap' needs a volume-file input "
+                "(repro.io.volume.VolumeSpec) for workers to map; "
+                "an in-memory field uses 'pickle' or 'shm' (or 'auto'), "
+                "or write it out first with repro.io.volume.write_volume"
+            )
         if self.transport == "auto":
             return "shm" if self.resolved_executor == "process" else "pickle"
         return self.transport

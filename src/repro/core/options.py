@@ -94,7 +94,10 @@ class ExecutionOptions:
         (pool exactly when the compute stage resolves to a pool).
     transport:
         Block-data transport to pool workers: ``"pickle"``, ``"shm"``,
-        or ``"auto"`` (shm exactly when a process pool runs).
+        ``"mmap"`` (volume-file inputs only; workers subarray-read from
+        disk and the driver never materializes the volume), or
+        ``"auto"`` (shm exactly when a process pool runs; mmap whenever
+        the input is a :class:`repro.io.volume.VolumeSpec`).
     kernel_backend:
         V-path tracing backend: ``"dfs"`` (per-path depth-first),
         ``"pointer"`` (vectorized pointer jumping), or ``"auto"``

@@ -68,7 +68,7 @@ from repro.core.stats import (
     RankTimeline,
     TransportStats,
 )
-from repro.io.volume import VolumeSpec, read_block
+from repro.io.volume import VolumeSpec, read_block, read_volume
 from repro.machine.costmodel import ComputeWork, CostModel, MergeWork
 from repro.mesh.cubical import CubicalComplex, structure_tables
 from repro.mesh.grid import Box, StructuredGrid
@@ -285,8 +285,10 @@ def compute_block(spec: BlockSpec) -> BlockPayload:
                     block_values = spec.shm.open()[spec.box.slices()]
                     read_span.annotate(source="shm")
                 else:
+                    # out-of-core: map the file (cached per process)
+                    # and gather only this block's subarray
                     block_values = read_block(spec.volume, spec.box)
-                    read_span.annotate(source="volume")
+                    read_span.annotate(source="mmap")
             with tracer.span("compute.build", cat="compute"):
                 cx = CubicalComplex(
                     block_values,
@@ -381,6 +383,72 @@ def validate_block_payload(spec: BlockSpec, payload: Any) -> None:
             f"block {spec.block_id}: payload checksum mismatch "
             f"(corrupted in transit?)"
         )
+
+
+@dataclass
+class _Plan:
+    """Input-independent planning artifacts of a run.
+
+    A pure function of ``(config, dims)``: the decomposition, the merge
+    schedule with its per-round groups and cut planes, and the cost
+    model.  One-shot runs build a plan per run; a persistent
+    :class:`repro.core.session.PipelineSession` caches it per ``dims``
+    and replays it for every step of a time series.
+    """
+
+    decomp: BlockDecomposition
+    schedule: MergeSchedule
+    model: CostModel
+    num_procs: int
+    #: per-round groups as (root_lid, root_rank, [(member_lid, member_rank)])
+    groups_by_round: list
+    #: per-round remaining cut planes (after that round completes)
+    cuts_by_round: list
+
+
+def build_plan(cfg: PipelineConfig, dims: tuple[int, int, int]) -> _Plan:
+    """Plan one run: decompose, schedule the merge, price the machine.
+
+    Also pre-warms the mesh structure-table memo for every block shape,
+    so worker pools forked after planning inherit the built tables.
+    """
+    decomp = decompose(dims, cfg.num_blocks, cfg.splits)
+    schedule = MergeSchedule(decomp, cfg.resolve_radices())
+    num_procs = cfg.resolved_num_procs
+    model = CostModel(cfg.machine, num_procs)
+    groups_by_round = []
+    cuts_by_round = []
+    for r in range(schedule.num_rounds):
+        rows = []
+        for root_coords, member_coords in schedule.groups(r):
+            root_lid = decomp.linear_id(root_coords)
+            members = [
+                (
+                    decomp.linear_id(mc),
+                    decomp.rank_of_block(
+                        decomp.linear_id(mc), num_procs
+                    ),
+                )
+                for mc in member_coords
+            ]
+            rows.append(
+                (root_lid,
+                 decomp.rank_of_block(root_lid, num_procs),
+                 members)
+            )
+        groups_by_round.append(rows)
+        cuts_by_round.append(schedule.cut_planes_after(r + 1))
+    for bid in range(decomp.num_blocks):
+        box = decomp.block_box(decomp.block_coords(bid))
+        structure_tables(tuple(2 * n + 1 for n in box.shape))
+    return _Plan(
+        decomp=decomp,
+        schedule=schedule,
+        model=model,
+        num_procs=num_procs,
+        groups_by_round=groups_by_round,
+        cuts_by_round=cuts_by_round,
+    )
 
 
 @dataclass
@@ -503,6 +571,7 @@ class ParallelMSComplexPipeline:
         tracer: Tracer,
         values: np.ndarray | StructuredGrid | None,
         volume: VolumeSpec | None,
+        session: Any = None,
     ) -> PipelineResult:
         cfg = self.config
         if (values is None) == (volume is None):
@@ -515,7 +584,7 @@ class ParallelMSComplexPipeline:
                 else StructuredGrid(values)
             )
             dims = grid.dims
-            vertex_bytes = 4  # the paper's datasets are 32-bit floats
+            vertex_bytes = grid.values.dtype.itemsize
         else:
             dims = volume.dims
             vertex_bytes = volume.np_dtype.itemsize
@@ -523,7 +592,8 @@ class ParallelMSComplexPipeline:
         registry = MetricsRegistry() if cfg.metrics else None
         with tracer.span("pipeline.run", cat="pipeline") as run_span:
             result = self._run_traced(
-                tracer, registry, cfg, grid, volume, dims, vertex_bytes
+                tracer, registry, cfg, grid, volume, dims, vertex_bytes,
+                session=session,
             )
         stats = result.stats
         stats.real_seconds_total = run_span.duration
@@ -531,78 +601,93 @@ class ParallelMSComplexPipeline:
             stats.trace = self._trace_record(tracer, stats)
         if registry is not None:
             self._fill_run_metrics(registry, stats)
+            if session is not None:
+                session._fill_session_metrics(registry)
             stats.metrics = registry.snapshot()
         return result
 
     def _run_traced(
-        self, tracer, registry, cfg, grid, volume, dims, vertex_bytes
+        self, tracer, registry, cfg, grid, volume, dims, vertex_bytes,
+        session=None,
     ) -> PipelineResult:
-        with tracer.span("pipeline.plan", cat="pipeline"):
-            decomp = decompose(dims, cfg.num_blocks, cfg.splits)
-            schedule = MergeSchedule(decomp, cfg.resolve_radices())
-            num_procs = cfg.resolved_num_procs
-            model = CostModel(cfg.machine, num_procs)
-            groups_by_round = []
-            cuts_by_round = []
-            for r in range(schedule.num_rounds):
-                rows = []
-                for root_coords, member_coords in schedule.groups(r):
-                    root_lid = decomp.linear_id(root_coords)
-                    members = [
-                        (
-                            decomp.linear_id(mc),
-                            decomp.rank_of_block(
-                                decomp.linear_id(mc), num_procs
-                            ),
-                        )
-                        for mc in member_coords
-                    ]
-                    rows.append(
-                        (root_lid,
-                         decomp.rank_of_block(root_lid, num_procs),
-                         members)
-                    )
-                groups_by_round.append(rows)
-                cuts_by_round.append(schedule.cut_planes_after(r + 1))
+        # transport resolution is input-kind aware: impossible combos
+        # (shm + volume file, mmap + in-memory field) fail here with a
+        # readable error instead of silently falling back mid-pipeline
+        input_kind = "memory" if grid is not None else "volume"
+        transport_kind = cfg.resolve_transport(input_kind)
+
+        with tracer.span("pipeline.plan", cat="pipeline") as plan_span:
+            if session is not None:
+                plan, plan_cached = session._plan_for(dims)
+            else:
+                plan, plan_cached = build_plan(cfg, dims), False
+            plan_span.annotate(cached=plan_cached)
+        decomp, schedule, model = plan.decomp, plan.schedule, plan.model
+        num_procs = plan.num_procs
+        groups_by_round = plan.groups_by_round
+        cuts_by_round = plan.cuts_by_round
 
         # ---- compute stage, on the configured executor ----------------
         # wrapped in the fault-tolerance layer: per-block timeouts,
         # bounded retries, pool restarts, degradation to serial
         ft = FaultToleranceStats()
-        transport = TransportStats(kind=cfg.resolved_transport)
-        executor = FaultTolerantExecutor(
-            kind=cfg.resolved_executor,
-            workers=cfg.workers,
-            policy=cfg.retry_policy(),
-            plan=cfg.faults,
-            validator=validate_block_payload,
-            stats=ft,
-            transport=transport,
-            tracer=tracer if cfg.trace else None,
-        )
+        transport = TransportStats(kind=transport_kind)
+        if session is not None:
+            executor, pool_reused = session._compute_executor(
+                ft, transport, tracer if cfg.trace else None
+            )
+            tracer.event(
+                "session.reuse", cat="session",
+                step=session.stats.runs, plan_cached=plan_cached,
+                pool_reused=pool_reused,
+            )
+        else:
+            executor = FaultTolerantExecutor(
+                kind=cfg.resolved_executor,
+                workers=cfg.workers,
+                policy=cfg.retry_policy(),
+                plan=cfg.faults,
+                validator=validate_block_payload,
+                stats=ft,
+                transport=transport,
+                tracer=tracer if cfg.trace else None,
+            )
         try:
             shm_handle = None
-            if transport.kind == "shm" and grid is not None:
+            spec_grid = grid
+            spec_volume = None
+            if transport_kind == "shm":
                 with tracer.span("shm.publish", cat="transport"):
                     shm_handle = executor.publish_volume(grid.values)
+                transport.driver_staged_bytes += grid.values.nbytes
+            elif transport_kind == "mmap":
+                # out-of-core: specs carry only the file spec + box and
+                # workers subarray-read from disk; the driver never
+                # materializes the volume
+                spec_grid = None
+                spec_volume = volume
+            elif grid is None:
+                # explicit pickle with a volume-file input: materialize
+                # the volume once in the driver and ship subarrays by
+                # value (bit-identical to the mmap path)
+                spec_grid = StructuredGrid(read_volume(volume))
+                transport.driver_staged_bytes += spec_grid.values.nbytes
+            else:
+                transport.driver_staged_bytes += grid.values.nbytes
             with tracer.span("pipeline.specs", cat="pipeline"):
                 specs = self._block_specs(
-                    decomp, grid, volume, shm=shm_handle
+                    decomp, spec_grid, spec_volume, shm=shm_handle
                 )
-                # warm the structure-table memo for every block shape
-                # before the pool forks: forked workers inherit the
-                # built tables
-                for spec in specs:
-                    structure_tables(
-                        tuple(2 * n + 1 for n in spec.box.shape)
-                    )
             with tracer.span(
                 "compute.dispatch", cat="compute", blocks=len(specs),
                 executor=cfg.resolved_executor, workers=cfg.workers,
             ) as dispatch_span:
                 payload_list = executor.map_blocks(compute_block, specs)
         finally:
-            executor.close()
+            # a session owns its executor across runs; one-shot runs
+            # release it (pool, shm slot) here
+            if session is None:
+                executor.close()
         logger.info(
             "compute stage done: %d blocks in %.3fs on %s executor",
             len(payload_list), dispatch_span.duration,
@@ -639,7 +724,7 @@ class ParallelMSComplexPipeline:
             ) as merge_dispatch:
                 merge_results = self._pooled_merge_prepass(
                     cfg, tracer, payloads, groups_by_round, cuts_by_round,
-                    presimplified, merge_ft,
+                    presimplified, merge_ft, session=session,
                 )
             merge_wall = merge_dispatch.duration
             logger.info(
@@ -748,6 +833,7 @@ class ParallelMSComplexPipeline:
         cuts_by_round,
         presimplified: bool,
         merge_ft: FaultToleranceStats,
+        session: Any = None,
     ) -> dict[tuple[int, int], MergePayload]:
         """Fan every round's root merges out over a worker pool.
 
@@ -758,21 +844,27 @@ class ParallelMSComplexPipeline:
         worker crash retries the merge from the immutable input blobs,
         and an unhealthy pool degrades to in-process execution, both
         bit-identical.  Returns the per-merge results for the rank
-        programs to adopt.
+        programs to adopt.  A session keeps the merge pool alive across
+        runs; one-shot runs build and close it here.
         """
-        executor = FaultTolerantExecutor(
-            kind="process",
-            workers=cfg.workers,
-            policy=cfg.retry_policy(),
-            plan=(
-                MergeFaultAdapter(cfg.faults)
-                if cfg.faults is not None
-                else None
-            ),
-            validator=validate_merge_payload,
-            stats=merge_ft,
-            tracer=tracer if cfg.trace else None,
-        )
+        if session is not None:
+            executor, _reused = session._merge_pool_executor(
+                merge_ft, tracer if cfg.trace else None
+            )
+        else:
+            executor = FaultTolerantExecutor(
+                kind="process",
+                workers=cfg.workers,
+                policy=cfg.retry_policy(),
+                plan=(
+                    MergeFaultAdapter(cfg.faults)
+                    if cfg.faults is not None
+                    else None
+                ),
+                validator=validate_merge_payload,
+                stats=merge_ft,
+                tracer=tracer if cfg.trace else None,
+            )
         results: dict[tuple[int, int], MergePayload] = {}
         current = {bid: p.blob for bid, p in payloads.items()}
         try:
@@ -807,7 +899,8 @@ class ParallelMSComplexPipeline:
                     current[mp.root_block] = mp.blob
                     results[(mp.round_idx, mp.root_block)] = mp
         finally:
-            executor.close()
+            if session is None:
+                executor.close()
         return results
 
     def _trace_record(
@@ -849,6 +942,15 @@ class ParallelMSComplexPipeline:
         )
         registry.counter("transport.dispatch_bytes").inc(
             stats.transport.dispatch_bytes
+        )
+        registry.gauge("transport.driver_staged_bytes").set(
+            stats.transport.driver_staged_bytes
+        )
+        registry.counter("transport.shm_rebinds").inc(
+            stats.transport.shm_rebinds
+        )
+        registry.counter("transport.shm_republishes").inc(
+            stats.transport.shm_republishes
         )
         registry.gauge("shm.volume_bytes").set(
             stats.transport.shared_volume_bytes

@@ -14,6 +14,7 @@ vertex layers included).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -22,7 +23,13 @@ import numpy as np
 from repro.mesh.grid import Box
 from repro.obs.trace import get_tracer
 
-__all__ = ["VolumeSpec", "write_volume", "read_volume", "read_block"]
+__all__ = [
+    "VolumeSpec",
+    "write_volume",
+    "read_volume",
+    "read_block",
+    "invalidate_map_cache",
+]
 
 #: dtypes supported by the paper's reader
 SUPPORTED_DTYPES = {
@@ -88,25 +95,65 @@ def read_volume(spec: VolumeSpec) -> np.ndarray:
     return data.reshape(spec.dims, order="F").astype(np.float64)
 
 
+#: single-slot per-process cache of the most recently mapped volume:
+#: ``(key, reshaped memmap)`` where the key pins the spec identity
+#: (path, dtype, dims) and the file's stat identity (inode, size,
+#: mtime), so a rewritten or replaced file remaps automatically.
+_MAP_CACHE: tuple | None = None
+
+
+def _map_key(spec: VolumeSpec, st: os.stat_result) -> tuple:
+    return (
+        spec.path,
+        spec.dtype,
+        spec.dims,
+        st.st_ino,
+        st.st_size,
+        st.st_mtime_ns,
+    )
+
+
+def invalidate_map_cache() -> None:
+    """Drop the per-process memmap cache (next read remaps the file)."""
+    global _MAP_CACHE
+    _MAP_CACHE = None
+
+
+def _mapped_volume(spec: VolumeSpec) -> tuple[np.ndarray, bool]:
+    """The reshaped read-only map of ``spec``, plus a cache-hit flag.
+
+    Workers of the ``mmap`` transport read many blocks of the same
+    volume back-to-back, so the map (and its size validation) is cached
+    per process instead of rebuilt per block.
+    """
+    global _MAP_CACHE
+    st = os.stat(spec.path)
+    key = _map_key(spec, st)
+    if _MAP_CACHE is not None and _MAP_CACHE[0] == key:
+        return _MAP_CACHE[1], True
+    mm = np.memmap(spec.path, dtype=spec.np_dtype, mode="r")
+    expected = int(np.prod(spec.dims))
+    if mm.size != expected:
+        raise ValueError(
+            f"{spec.path}: expected {expected} samples, found {mm.size}"
+        )
+    vol = mm.reshape(spec.dims, order="F")
+    _MAP_CACHE = (key, vol)
+    return vol, False
+
+
 def read_block(spec: VolumeSpec, box: Box) -> np.ndarray:
     """Subarray read of one block (the virtual MPI-IO file view).
 
     Returns the block's vertex values as float64, shape ``box.shape``.
-    Only the block's bytes are gathered (via a memory map), mirroring the
-    access pattern of the MPI subarray type.
+    Only the block's bytes are gathered (via a cached memory map),
+    mirroring the access pattern of the MPI subarray type.
     """
     for l, h, n in zip(box.lo, box.hi, spec.dims):
         if l < 0 or h > n:
             raise ValueError(f"{box} exceeds volume dims {spec.dims}")
     with get_tracer().span("io.read_block", cat="io", path=spec.path) as sp:
-        mm = np.memmap(spec.path, dtype=spec.np_dtype, mode="r")
-        expected = int(np.prod(spec.dims))
-        if mm.size != expected:
-            raise ValueError(
-                f"{spec.path}: expected {expected} samples, found {mm.size}"
-            )
-        vol = mm.reshape(spec.dims, order="F")
+        vol, cached = _mapped_volume(spec)
         block = np.array(vol[box.slices()], dtype=np.float64)
-        del mm
-        sp.annotate(bytes=block.nbytes)
+        sp.annotate(bytes=block.nbytes, map_cached=cached)
     return block

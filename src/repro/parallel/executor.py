@@ -334,9 +334,35 @@ class FaultTolerantExecutor:
         self._pool: ProcessPoolExecutor | None = None
         self._degraded = False
         self._suspect_workers = 0  # pooled slots clogged by hung blocks
-        self._shared_volume: Any = None
+        from repro.parallel.transport import SharedVolumeSlot
+
+        self._volume_slot = SharedVolumeSlot()
+        self._published_this_run = False
 
     # -- public protocol -------------------------------------------------
+
+    def begin_run(
+        self,
+        stats: Any = None,
+        transport: Any = None,
+        tracer: Tracer | None = None,
+    ) -> None:
+        """Rebind the per-run sinks so a persistent session can reuse
+        this executor for its next step.
+
+        Swaps in the new run's :class:`FaultToleranceStats` /
+        :class:`TransportStats` / tracer and re-arms
+        :meth:`publish_volume` (each run still publishes at most once).
+        The worker pool, the shared-memory slot, and the degradation
+        state are deliberately *not* reset: a pool that already degraded
+        to serial stays serial, and pool-restart budgets are per run
+        because the swapped-in stats start at zero.
+        """
+        if stats is not None:
+            self.stats = stats
+        self.transport = transport
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._published_this_run = False
 
     def map_blocks(
         self, fn: Callable[[Any], Any], specs: Sequence[Any]
@@ -355,30 +381,35 @@ class FaultTolerantExecutor:
     def publish_volume(self, values: Any) -> Any:
         """Publish a vertex volume for the zero-copy transport.
 
-        Copies ``values`` into a fresh shared-memory segment owned by
-        this executor and returns the
-        :class:`~repro.parallel.transport.SharedVolumeHandle` to embed
-        in block specs.  The segment lives until :meth:`close`.
+        Copies ``values`` into this executor's shared-memory slot and
+        returns the :class:`~repro.parallel.transport.SharedVolumeHandle`
+        to embed in block specs.  The slot lives until :meth:`close`;
+        across session runs (see :meth:`begin_run`) it is *rebound* in
+        place when the new volume fits the existing segment's capacity,
+        so steady-state streaming steps create no segments at all.  At
+        most one publish per run.
         """
-        from repro.parallel.transport import SharedVolume
-
-        if self._shared_volume is not None:
+        if self._published_this_run:
             raise RuntimeError("executor already published a volume")
-        self._shared_volume = SharedVolume(values)
+        handle, reused = self._volume_slot.publish(values)
+        self._published_this_run = True
         if self.transport is not None:
-            self.transport.shared_volume_bytes += self._shared_volume.nbytes
+            self.transport.shared_volume_bytes += handle.nbytes
+            if reused:
+                self.transport.shm_rebinds += 1
+            else:
+                self.transport.shm_republishes += 1
         self.tracer.event(
             "shm.publish", cat="transport",
-            segment=self._shared_volume.handle.name,
-            bytes=self._shared_volume.nbytes,
+            segment=handle.name, bytes=handle.nbytes, rebound=reused,
         )
-        return self._shared_volume.handle
+        return handle
 
     def close(self) -> None:
         """Shut the worker pool down and unlink the published segment.
 
         Idempotent; does not wait for workers clogged by timed-out
-        blocks.  The shared-memory segment (if any) is unlinked here and
+        blocks.  The shared-memory slot (if any) is unlinked here and
         only here, after every dispatch path — pooled, restarted pool,
         or degraded serial — is done with it.
         """
@@ -387,13 +418,12 @@ class FaultTolerantExecutor:
                 wait=self._suspect_workers == 0, cancel_futures=True
             )
             self._pool = None
-        if self._shared_volume is not None:
+        if self._volume_slot.active:
             self.tracer.event(
                 "shm.unlink", cat="transport",
-                segment=self._shared_volume.handle.name,
+                segment=self._volume_slot.handle.name,
             )
-            self._shared_volume.unlink()
-            self._shared_volume = None
+            self._volume_slot.unlink()
 
     def __enter__(self) -> "FaultTolerantExecutor":
         return self

@@ -1,4 +1,4 @@
-"""Zero-copy block transport over POSIX shared memory.
+"""Block transports: zero-copy POSIX shared memory and on-disk mmap.
 
 With the ``pickle`` transport every :class:`~repro.core.pipeline.BlockSpec`
 carries its block's ghost-padded vertex subarray by value, so every
@@ -11,13 +11,25 @@ bytes) and each worker attaches to the segment and slices its own block
 view.  Retries re-read from the segment instead of re-pickling, and the
 per-dispatch cost drops to O(blocks × spec_header).
 
-Lifecycle is owned by the driver-side
-:class:`~repro.parallel.executor.FaultTolerantExecutor`: it creates the
-segment via :class:`SharedVolume`, hands the handle to the specs, and
-unlinks the segment when it closes — including after pool restarts (the
-segment outlives any worker pool) and after degradation to serial
-execution (in the driver process :func:`SharedVolumeHandle.open`
-resolves to the creator's own mapping, no attach needed).
+The ``mmap`` transport is the out-of-core path for volume-*file* inputs
+(:class:`~repro.io.volume.VolumeSpec`): specs carry only the file spec
+plus the block box, and each worker memory-maps the file and gathers its
+own subarray (see :func:`repro.io.volume.read_block`).  The driver never
+materializes the volume at all, so peak driver memory is independent of
+volume size — the reproduction of the paper's MPI-IO subarray reads
+(§IV-B) at "volumes much larger than RAM" scale.
+
+Segment lifecycle is owned by the driver-side
+:class:`~repro.parallel.executor.FaultTolerantExecutor`: it publishes
+through a reusable :class:`SharedVolumeSlot`, hands the handle to the
+specs, and unlinks the slot when it closes — including after pool
+restarts (the segment outlives any worker pool) and after degradation to
+serial execution (in the driver process
+:func:`SharedVolumeHandle.open` resolves to the creator's own mapping,
+no attach needed).  A persistent :class:`~repro.core.session.PipelineSession`
+keeps its executor — and therefore the slot — alive across runs: each
+step *rebinds* the existing segment in place when the new volume fits
+its capacity, and republishes a larger segment only when it grows.
 
 Worker-side attachments are cached per process, so a worker computing
 many blocks of one volume attaches once.  On Python < 3.13 the stdlib
@@ -29,7 +41,7 @@ exactly one owner — the creator — responsible for the unlink.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
@@ -40,20 +52,39 @@ __all__ = [
     "TRANSPORT_KINDS",
     "SharedVolume",
     "SharedVolumeHandle",
+    "SharedVolumeSlot",
     "attached_segment_names",
 ]
 
-#: Transport kinds accepted by config / API / CLI.  ``"auto"`` resolves
-#: to ``"shm"`` exactly when the compute stage runs on a process pool.
-TRANSPORT_KINDS = ("auto", "pickle", "shm")
+#: Transport kinds accepted by config / API / CLI.  For in-memory
+#: inputs ``"auto"`` resolves to ``"shm"`` exactly when the compute
+#: stage runs on a process pool; for volume-file inputs it resolves to
+#: ``"mmap"`` (workers subarray-read straight from disk).
+TRANSPORT_KINDS = ("auto", "pickle", "shm", "mmap")
 
 #: Estimated pickled size of one BlockSpec header (everything except the
 #: vertex samples); used for transport byte accounting only.
 SPEC_HEADER_BYTES = 256
 
-#: per-process cache of open segments: name -> (SharedMemory | None, ndarray)
-#: (the creator registers its own array with ``None`` — no re-attach).
-_ATTACHED: dict[str, tuple[shared_memory.SharedMemory | None, np.ndarray]] = {}
+
+@dataclass
+class _Attachment:
+    """One process's view of an open segment.
+
+    ``flat`` is a uint8 view of the whole mapping; typed views are built
+    per ``(shape, dtype)`` on demand and cached, so a slot rebound to a
+    new step with the same geometry reuses the worker's existing view
+    (the bytes underneath were updated in place).
+    """
+
+    seg: shared_memory.SharedMemory | None
+    flat: np.ndarray
+    views: dict = field(default_factory=dict)
+
+
+#: per-process cache of open segments, keyed by segment name (the
+#: creator registers its own mapping with ``seg=None`` — no re-attach)
+_ATTACHED: dict[str, _Attachment] = {}
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
@@ -99,20 +130,27 @@ class SharedVolumeHandle:
         which is how the serial and degraded-to-serial paths read the
         volume without any shared-memory round trip.
         """
-        entry = _ATTACHED.get(self.name)
-        if entry is None:
+        att = _ATTACHED.get(self.name)
+        if att is None:
             get_tracer().event(
                 "shm.attach", cat="transport",
                 segment=self.name, bytes=self.nbytes,
             )
             seg = _attach(self.name)
-            view = np.ndarray(
-                self.shape, dtype=np.dtype(self.dtype), buffer=seg.buf
+            flat = np.ndarray((seg.size,), dtype=np.uint8, buffer=seg.buf)
+            att = _Attachment(seg, flat)
+            _ATTACHED[self.name] = att
+        key = (self.shape, self.dtype)
+        view = att.views.get(key)
+        if view is None:
+            view = (
+                att.flat[: self.nbytes]
+                .view(np.dtype(self.dtype))
+                .reshape(self.shape)
             )
             view.setflags(write=False)
-            entry = (seg, view)
-            _ATTACHED[self.name] = entry
-        return entry[1]
+            att.views[key] = view
+        return view
 
 
 class SharedVolume:
@@ -120,14 +158,14 @@ class SharedVolume:
 
     Copies ``values`` into a fresh POSIX shared-memory segment exactly
     once; :attr:`handle` is the picklable reference workers attach to.
-    :meth:`unlink` releases the segment (idempotent); the owning
+    :meth:`rebind` repoints the segment at a new step's volume in place
+    when it fits the segment's capacity (the streaming-session fast
+    path).  :meth:`unlink` releases the segment (idempotent); the owning
     executor calls it from ``close()`` so no run can leak a segment.
     """
 
     def __init__(self, values: np.ndarray) -> None:
-        values = np.ascontiguousarray(values)
-        if values.ndim != 3:
-            raise ValueError("shared volume must be a 3D vertex array")
+        values = self._check(values)
         self._seg = shared_memory.SharedMemory(
             create=True, size=values.nbytes
         )
@@ -135,22 +173,59 @@ class SharedVolume:
             "shm.create", cat="transport",
             segment=self._seg.name, bytes=values.nbytes,
         )
-        arr = np.ndarray(
-            values.shape, dtype=values.dtype, buffer=self._seg.buf
+        self._capacity = values.nbytes
+        flat = np.ndarray(
+            (self._seg.size,), dtype=np.uint8, buffer=self._seg.buf
         )
-        arr[...] = values
-        arr.setflags(write=False)
+        # the creator's own mapping doubles as the in-process "attach"
+        _ATTACHED[self._seg.name] = _Attachment(None, flat)
+        self._write(values)
+
+    @staticmethod
+    def _check(values: np.ndarray) -> np.ndarray:
+        values = np.ascontiguousarray(values)
+        if values.ndim != 3:
+            raise ValueError("shared volume must be a 3D vertex array")
+        return values
+
+    def _write(self, values: np.ndarray) -> None:
+        att = _ATTACHED[self._seg.name]
+        dst = (
+            att.flat[: values.nbytes]
+            .view(values.dtype)
+            .reshape(values.shape)
+        )
+        dst[...] = values
+        # geometry may have changed: typed views are rebuilt on demand
+        att.views.clear()
         self.handle = SharedVolumeHandle(
             name=self._seg.name,
             shape=tuple(int(n) for n in values.shape),
             dtype=values.dtype.str,
         )
-        # the creator's own mapping doubles as the in-process "attach"
-        _ATTACHED[self._seg.name] = (None, arr)
 
     @property
     def nbytes(self) -> int:
         return self.handle.nbytes
+
+    @property
+    def capacity(self) -> int:
+        """Bytes the segment can hold (its size at creation)."""
+        return self._capacity if self._seg is not None else 0
+
+    def rebind(self, values: np.ndarray) -> bool:
+        """Repoint the segment at ``values`` in place, if it fits.
+
+        Returns ``False`` (segment untouched) when ``values`` exceeds
+        the segment's capacity — the caller republishes then.  On
+        success the existing :attr:`handle` name is kept, so worker
+        processes reuse their cached attachment.
+        """
+        values = self._check(values)
+        if self._seg is None or values.nbytes > self._capacity:
+            return False
+        self._write(values)
+        return True
 
     def unlink(self) -> None:
         """Close and remove the segment (idempotent)."""
@@ -172,3 +247,56 @@ class SharedVolume:
 
     def __exit__(self, *exc: object) -> None:
         self.unlink()
+
+
+class SharedVolumeSlot:
+    """Reusable shared-memory slot for streaming sessions.
+
+    Grows to the largest step published so far: :meth:`publish` rebinds
+    the existing segment in place when the new volume fits its capacity
+    (no segment churn, workers keep their attachment) and republishes a
+    fresh, larger segment only when it does not.  One-shot runs publish
+    exactly once, so the slot behaves identically to a bare
+    :class:`SharedVolume` there.
+    """
+
+    def __init__(self) -> None:
+        self._volume: SharedVolume | None = None
+        #: steps served by rebinding the existing segment in place
+        self.rebinds = 0
+        #: steps that created (or grew) the segment
+        self.republishes = 0
+
+    @property
+    def active(self) -> bool:
+        return self._volume is not None
+
+    @property
+    def handle(self) -> SharedVolumeHandle | None:
+        return self._volume.handle if self._volume is not None else None
+
+    @property
+    def nbytes(self) -> int:
+        return self._volume.nbytes if self._volume is not None else 0
+
+    def publish(self, values: np.ndarray) -> tuple[SharedVolumeHandle, bool]:
+        """Publish one step's volume; returns ``(handle, reused)``."""
+        if self._volume is not None and self._volume.rebind(values):
+            self.rebinds += 1
+            get_tracer().event(
+                "shm.rebind", cat="transport",
+                segment=self._volume.handle.name,
+                bytes=self._volume.nbytes,
+            )
+            return self._volume.handle, True
+        if self._volume is not None:
+            self._volume.unlink()
+        self._volume = SharedVolume(values)
+        self.republishes += 1
+        return self._volume.handle, False
+
+    def unlink(self) -> None:
+        """Release the slot's segment, if any (idempotent)."""
+        if self._volume is not None:
+            self._volume.unlink()
+            self._volume = None

@@ -297,14 +297,14 @@ class TestObservabilityFlags:
         assert snap["compute.blocks"]["value"] == 4
 
     @pytest.mark.slow
-    def test_pooled_shm_trace_covers_every_block(self, volume, tmp_path,
-                                                 capsys):
+    def test_pooled_mmap_trace_covers_every_block(self, volume, tmp_path,
+                                                  capsys):
         """Worker lanes of a pooled --trace file cover all blocks."""
         trace = tmp_path / "pooled.json"
         rc = main([
             "compute", volume.path,
             "--dims", *map(str, volume.dims),
-            "--blocks", "8", "--workers", "2", "--transport", "shm",
+            "--blocks", "8", "--workers", "2", "--transport", "mmap",
             "--trace", str(trace),
         ])
         assert rc == 0
@@ -479,3 +479,111 @@ class TestQuery:
     def test_negative_top_k_rejected_by_parser(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["query", "f.msc", "--top-k", "-1"])
+
+
+class TestStream:
+    @pytest.fixture
+    def series(self, tmp_path):
+        """Two small volume files with identical dims."""
+        specs = []
+        for step in range(2):
+            field = gaussian_bumps_field((9, 9, 9), 3, seed=step)
+            specs.append(write_volume(
+                tmp_path / f"t{step}.raw", field, dtype="float64"
+            ))
+        return specs
+
+    def test_parser_accepts_stream_args(self):
+        args = build_parser().parse_args([
+            "stream", "a.raw", "b.raw", "--dims", "9", "9", "9",
+            "--dtype", "float64", "--blocks", "8",
+            "--transport", "mmap",
+        ])
+        assert args.command == "stream"
+        assert args.volumes == ["a.raw", "b.raw"]
+        assert args.transport == "mmap"
+
+    def test_stream_table_and_outputs(self, series, tmp_path, capsys):
+        out_dir = tmp_path / "steps"
+        rc = main([
+            "stream", *[s.path for s in series],
+            "--dims", "9", "9", "9", "--dtype", "float64",
+            "--blocks", "8", "--persistence", "0.05",
+            "--retry-backoff", "0.0",
+            "--output-dir", str(out_dir),
+        ])
+        assert rc == 0
+        stdout = capsys.readouterr().out
+        assert "session: 2 steps" in stdout
+        for step in range(2):
+            assert (out_dir / f"step_{step:04d}.msc").exists()
+
+    def test_stream_steps_match_oneshot_pipeline(self, series, tmp_path):
+        from repro.core.config import ExecutionOptions, PipelineConfig
+        from repro.core.pipeline import ParallelMSComplexPipeline
+
+        out_dir = tmp_path / "steps"
+        rc = main([
+            "stream", *[s.path for s in series],
+            "--dims", "9", "9", "9", "--dtype", "float64",
+            "--blocks", "8", "--persistence", "0.05",
+            "--retry-backoff", "0.0",
+            "--output-dir", str(out_dir),
+        ])
+        assert rc == 0
+        # the exact one-shot configuration the stream command builds
+        cfg = PipelineConfig(
+            num_blocks=8,
+            persistence_threshold=0.05,
+            merge_radices="full",
+            options=ExecutionOptions(retry_backoff=0.0),
+        )
+        for step, spec in enumerate(series):
+            ref = tmp_path / f"ref{step}.msc"
+            ParallelMSComplexPipeline(cfg).run(volume=spec).write(str(ref))
+            streamed = out_dir / f"step_{step:04d}.msc"
+            assert streamed.read_bytes() == ref.read_bytes()
+
+    def test_stream_json_records_session_reuse(self, series, capsys):
+        import json
+
+        rc = main([
+            "stream", *[s.path for s in series],
+            "--dims", "9", "9", "9", "--dtype", "float64",
+            "--blocks", "8", "--retry-backoff", "0.0", "--json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["steps"]) == 2
+        assert payload["session"]["runs"] == 2
+        assert payload["session"]["plan_cache_hits"] == 1
+
+    def test_wrong_size_volume_fails_before_first_step(
+        self, series, tmp_path, capsys
+    ):
+        rc = main([
+            "stream", series[0].path,
+            "--dims", "10", "9", "9", "--dtype", "float64",
+            "--blocks", "8",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "require" in err
+
+    def test_missing_volume_fails_readably(self, tmp_path, capsys):
+        rc = main([
+            "stream", str(tmp_path / "nope.raw"),
+            "--dims", "9", "9", "9",
+        ])
+        assert rc == 2
+        assert "cannot read volume" in capsys.readouterr().err
+
+    def test_shm_transport_rejected_for_file_streams(self, series, capsys):
+        rc = main([
+            "stream", series[0].path,
+            "--dims", "9", "9", "9", "--dtype", "float64",
+            "--transport", "shm",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "in-memory input" in err and "mmap" in err

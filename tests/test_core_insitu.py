@@ -62,3 +62,47 @@ class TestInSitu:
     def test_sequence_validation(self):
         with pytest.raises(ValueError):
             list(rayleigh_taylor_sequence((17, 17, 17), num_steps=0))
+
+
+class TestSessionBacked:
+    """The analyzer rides a persistent PipelineSession since the
+    streaming rework."""
+
+    def test_steps_reuse_the_session(self, analyzer):
+        with analyzer:
+            for i in range(3):
+                analyzer.step(
+                    gaussian_bumps_field((13, 13, 13), 3, seed=i)
+                )
+            stats = analyzer.session.stats
+            assert stats.runs == 3
+            assert stats.plan_cache_hits == 2
+        assert analyzer.session.closed
+
+    def test_volume_spec_step(self, analyzer, tmp_path):
+        from repro.io.volume import write_volume
+
+        field = gaussian_bumps_field((13, 13, 13), 3, seed=0)
+        spec = write_volume(tmp_path / "t0.raw", field, dtype="float64")
+        with analyzer:
+            record, result = analyzer.step(spec)
+        assert sum(record.node_counts) >= 1
+        assert result.stats.transport.kind == "mmap"
+
+    def test_stream_with_and_without_times(self, analyzer):
+        steps = [
+            (0.5, gaussian_bumps_field((13, 13, 13), 3, seed=0)),
+            gaussian_bumps_field((13, 13, 13), 3, seed=1),
+        ]
+        with analyzer:
+            records = [rec for rec, _ in analyzer.stream(steps)]
+        assert records[0].time == 0.5
+        assert records[1].time == 1.0  # defaults to the step index
+        assert len(analyzer.history) == 2
+
+    def test_close_is_idempotent(self, analyzer):
+        analyzer.step(gaussian_bumps_field((13, 13, 13), 3, seed=0))
+        analyzer.close()
+        analyzer.close()
+        with pytest.raises(RuntimeError, match="session is closed"):
+            analyzer.step(gaussian_bumps_field((13, 13, 13), 3, seed=1))

@@ -147,6 +147,50 @@ def test_golden_bytes_pooled_merge_executor(tmp_path, trace):
     assert result.stats.merge_executor == "pool"
 
 
+def test_golden_bytes_mmap_volume_run(tmp_path):
+    """A volume-file input streamed block-wise over the ``mmap``
+    transport produces the same bytes as the in-memory golden run — and
+    the driver stages none of the volume."""
+    from repro.io.volume import write_volume
+
+    field = np.random.default_rng(42).random((9, 9, 9))
+    spec = write_volume(tmp_path / "golden.raw", field, dtype="float64")
+    result = repro.compute(spec, persistence=0.1, ranks=8,
+                           options=ExecutionOptions(transport="mmap",
+                                                    retry_backoff=0.0))
+    out = tmp_path / "mmap.msc"
+    result.write(str(out))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+    assert result.stats.transport.driver_staged_bytes == 0
+
+
+def test_golden_bytes_pickle_volume_run(tmp_path):
+    from repro.io.volume import write_volume
+
+    field = np.random.default_rng(42).random((9, 9, 9))
+    spec = write_volume(tmp_path / "golden.raw", field, dtype="float64")
+    result = repro.compute(spec, persistence=0.1, ranks=8,
+                           options=ExecutionOptions(transport="pickle",
+                                                    retry_backoff=0.0))
+    out = tmp_path / "pickle_vol.msc"
+    result.write(str(out))
+    assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def test_golden_bytes_session_steps(tmp_path):
+    """Every step of a persistent session matches the one-shot golden
+    bytes — pools, plan cache, and warmed tables must not show."""
+    field = np.random.default_rng(42).random((9, 9, 9))
+    with repro.open_session(
+        persistence=0.1, ranks=8,
+        options=ExecutionOptions(retry_backoff=0.0),
+    ) as session:
+        for step in range(2):
+            out = tmp_path / f"session{step}.msc"
+            session.run(field).write(str(out))
+            assert out.read_bytes() == GOLDEN.read_bytes()
+
+
 def test_golden_reads_back_to_valid_complex():
     blocks = read_msc_file(GOLDEN)
     assert set(blocks) == {0}  # full merge leaves the root block only

@@ -3,8 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.io import volume as volmod
 from repro.io.volume import (
     VolumeSpec,
+    invalidate_map_cache,
     read_block,
     read_volume,
     write_volume,
@@ -80,3 +82,60 @@ class TestBlockRead:
         spec, _ = volume
         with pytest.raises(ValueError):
             read_block(spec, Box((0, 0, 0), (8, 6, 5)))
+
+
+class TestMapCache:
+    """The per-process memmap cache behind block reads."""
+
+    def test_repeat_reads_hit_the_cache(self, volume):
+        spec, vals = volume
+        invalidate_map_cache()
+        box = Box((0, 0, 0), (3, 3, 3))
+        read_block(spec, box)
+        assert volmod._MAP_CACHE is not None
+        cached_map = volmod._MAP_CACHE[1]
+        np.testing.assert_array_equal(
+            read_block(spec, Box((2, 1, 0), (6, 5, 3))),
+            vals[2:6, 1:5, 0:3],
+        )
+        # second read reused the very same map object
+        assert volmod._MAP_CACHE[1] is cached_map
+
+    def test_rewritten_file_remaps_automatically(self, tmp_path, rng):
+        vals = rng.random((6, 5, 4)).astype(np.float32).astype(np.float64)
+        spec = write_volume(tmp_path / "rw.raw", vals, dtype="float32")
+        box = Box((0, 0, 0), (6, 5, 4))
+        np.testing.assert_array_equal(read_block(spec, box), vals)
+        # rewrite in place: stat identity (size/mtime/inode) changes
+        new_vals = (vals + 1.0).astype(np.float32).astype(np.float64)
+        write_volume(tmp_path / "rw.raw", new_vals, dtype="float32")
+        np.testing.assert_array_equal(read_block(spec, box), new_vals)
+
+    def test_different_spec_replaces_cache_slot(self, tmp_path, rng):
+        a = write_volume(
+            tmp_path / "a.raw", rng.random((4, 4, 4)), dtype="float64"
+        )
+        b = write_volume(
+            tmp_path / "b.raw", rng.random((5, 4, 4)), dtype="float64"
+        )
+        box = Box((0, 0, 0), (4, 4, 4))
+        read_block(a, box)
+        assert volmod._MAP_CACHE[0][0] == a.path
+        read_block(b, box)
+        assert volmod._MAP_CACHE[0][0] == b.path
+
+    def test_invalidate_map_cache_drops_the_slot(self, volume):
+        spec, _ = volume
+        read_block(spec, Box((0, 0, 0), (2, 2, 2)))
+        assert volmod._MAP_CACHE is not None
+        invalidate_map_cache()
+        assert volmod._MAP_CACHE is None
+
+    def test_truncated_file_detected_through_cache_path(self, tmp_path):
+        spec = write_volume(
+            tmp_path / "t.raw", np.zeros((4, 4, 4)), dtype="float32"
+        )
+        bad = VolumeSpec(spec.path, (5, 4, 4), "float32")
+        invalidate_map_cache()
+        with pytest.raises(ValueError, match="expected 80 samples"):
+            read_block(bad, Box((0, 0, 0), (4, 4, 4)))
