@@ -1,0 +1,276 @@
+"""Service benchmark: cold compute vs content-addressed cache serving.
+
+Measures the service tentpole's two operational claims:
+
+- ``warm_vs_cold``: wall latency of a cold submit (admission + full
+  pipeline + artifact persist) against a warm submit of the identical
+  request (admission + store hit, zero compute).  The acceptance gate
+  is a >= 50x speedup — the cache must turn a compute into a lookup.
+- ``coalescing``: N identical concurrent submissions while the first
+  is still in flight run the pipeline exactly once, and the observed
+  hit + coalesce rate under a repeat-heavy workload.
+
+Both modes also pin correctness while timing: the warm answer's
+artifact is byte-identical to the cold compute's, and a query sweep
+over the cached hierarchy answers without touching the scheduler.
+
+Run directly for the machine-readable record::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke  # CI
+
+The full run regenerates the repo-root ``BENCH_service.json``;
+``--smoke`` runs a scaled-down pass and asserts the invariants (one
+compute per distinct request, bit-identity, warm << cold) without the
+50x timing gate.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import repro
+from repro.core.options import ExecutionOptions
+from repro.data.synthetic import gaussian_bumps_field
+from repro.io.volume import write_volume
+from repro.service import ServiceClient
+
+#: the benchmark request: large enough that a cold compute costs real
+#: milliseconds (so the warm/cold ratio measures the cache, not noise)
+DIMS = (24, 24, 24)
+SMOKE_DIMS = (10, 10, 10)
+PERS = 0.05
+RANKS = 8
+#: warm submits averaged per measurement (they are ~sub-millisecond)
+WARM_REPEATS = 20
+
+
+def _volume(tmp: Path, dims) -> tuple:
+    tmp.mkdir(parents=True, exist_ok=True)
+    field = gaussian_bumps_field(dims, 8, seed=11, noise=0.005)
+    spec = write_volume(tmp / "bench.raw", field, dtype="float64")
+    return field, spec
+
+
+def measure_warm_vs_cold(tmp: Path, dims=DIMS,
+                         warm_repeats: int = WARM_REPEATS) -> dict:
+    """Cold submit latency vs the identical warm submit, plus identity."""
+    _field, spec = _volume(tmp, dims)
+    kwargs = dict(persistence=PERS, ranks=RANKS, hierarchy=True)
+
+    with ServiceClient(tmp / "cache", max_jobs=1) as svc:
+        t0 = time.perf_counter()
+        cold = svc.submit(spec, wait=True, **kwargs)
+        cold_seconds = time.perf_counter() - t0
+        assert cold.state == "done" and cold.source == "cold", cold.error
+
+        warm_samples = []
+        for _ in range(warm_repeats):
+            t0 = time.perf_counter()
+            warm = svc.submit(spec, **kwargs)
+            warm_samples.append(time.perf_counter() - t0)
+            assert warm.source == "cache" and warm.state == "done"
+            assert warm.record == cold.record
+
+        # identity: the cached artifact is byte-for-byte what a direct
+        # compute of the same request writes (same facade, no service)
+        golden = tmp / "golden.msc"
+        repro.compute(
+            spec, persistence=PERS, ranks=RANKS,
+            options=ExecutionOptions(hierarchy=True),
+        ).write(golden)
+        identical = (
+            svc.artifact_path(cold.key).read_bytes()
+            == golden.read_bytes()
+        )
+
+        # a persistence sweep answered from the cached hierarchy footer
+        t0 = time.perf_counter()
+        sweep = [
+            svc.query(key=cold.key, persistence=p)
+            for p in (0.01, 0.05, 0.1, 0.2, 0.4)
+        ]
+        query_seconds = (time.perf_counter() - t0) / len(sweep)
+        stats = svc.stats()
+
+    warm_seconds = sum(warm_samples) / len(warm_samples)
+    return {
+        "dims": list(dims),
+        "ranks": RANKS,
+        "persistence": PERS,
+        "cold_submit_seconds": cold_seconds,
+        "warm_submit_seconds": warm_seconds,
+        "warm_repeats": warm_repeats,
+        "speedup": cold_seconds / warm_seconds,
+        "query_seconds_per_threshold": query_seconds,
+        "artifact_bit_identical": identical,
+        "cache_hit_rate": stats["cache_hit_rate"],
+    }
+
+
+def measure_coalescing(tmp: Path, dims=DIMS, submitters: int = 8) -> dict:
+    """N identical concurrent submissions -> exactly one pipeline run."""
+    _field, spec = _volume(tmp, dims)
+    kwargs = dict(persistence=PERS, ranks=RANKS)
+
+    with ServiceClient(tmp / "cache", max_jobs=2) as svc:
+        t0 = time.perf_counter()
+        with ThreadPoolExecutor(submitters) as pool:
+            jobs = list(pool.map(
+                lambda _: svc.submit(spec, **kwargs), range(submitters)
+            ))
+        final = svc.wait(jobs[0].job_id)
+        elapsed = time.perf_counter() - t0
+        snap = svc.metrics.snapshot()
+
+    distinct = {j.job_id for j in jobs}
+    cache_hits = snap.get("service.cache.hits", {}).get("value", 0)
+    return {
+        "submitters": submitters,
+        "distinct_jobs": len(distinct),
+        "coalesced_submits": final.coalesced_submits,
+        # a submitter losing the race to the finished job becomes a
+        # cache hit instead of a coalesce — either way, no second run
+        "cache_hit_submits": cache_hits,
+        "pipeline_runs": snap["service.jobs.done"]["value"],
+        "wall_seconds": elapsed,
+    }
+
+
+def collect_record() -> dict:
+    """The full record ``BENCH_service.json`` holds."""
+    import os
+    import sys
+
+    with tempfile.TemporaryDirectory() as td:
+        tmp = Path(td)
+        warm_cold = measure_warm_vs_cold(tmp / "wc")
+        coalescing = measure_coalescing(tmp / "co")
+
+    return {
+        "field": f"gaussian_bumps {DIMS[0]}^3, 8 bumps, noise 0.005",
+        "harness": {
+            "metric": (
+                "wall seconds per submit() call, warm averaged over "
+                f"{WARM_REPEATS} repeats; one client, max_jobs=1"
+            ),
+            "gate": "warm submit >= 50x faster than cold",
+        },
+        "host": {
+            "cores": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "warm_vs_cold": warm_cold,
+        "coalescing": coalescing,
+    }
+
+
+def run_smoke() -> dict:
+    """Scaled-down CI pass: invariants only, no 50x timing gate."""
+    with tempfile.TemporaryDirectory() as td:
+        tmp = Path(td)
+        warm_cold = measure_warm_vs_cold(
+            tmp / "wc", dims=SMOKE_DIMS, warm_repeats=5
+        )
+        assert warm_cold["artifact_bit_identical"], warm_cold
+        assert warm_cold["warm_submit_seconds"] < \
+            warm_cold["cold_submit_seconds"], warm_cold
+
+        coalescing = measure_coalescing(
+            tmp / "co", dims=SMOKE_DIMS, submitters=4
+        )
+        assert coalescing["pipeline_runs"] == 1, coalescing
+        deduped = (coalescing["coalesced_submits"]
+                   + coalescing["cache_hit_submits"])
+        assert deduped == coalescing["submitters"] - 1, coalescing
+    return {"warm_vs_cold": warm_cold, "coalescing": coalescing}
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def bench_service_warm_vs_cold(benchmark):
+    with tempfile.TemporaryDirectory() as td:
+        res = benchmark.pedantic(
+            lambda: measure_warm_vs_cold(Path(td), dims=SMOKE_DIMS,
+                                         warm_repeats=5),
+            rounds=1, iterations=1,
+        )
+    assert res["artifact_bit_identical"]
+
+
+def bench_service_before_after_json(benchmark):
+    """Regenerate the repo-root ``BENCH_service.json`` record."""
+    from bench_util import emit_json
+
+    record = collect_record()
+    path = emit_json(
+        "BENCH_service",
+        record,
+        path=Path(__file__).resolve().parent.parent
+        / "BENCH_service.json",
+    )
+    wc = record["warm_vs_cold"]
+    print(
+        f"\nwrote {path}; warm submit {wc['speedup']:.0f}x faster "
+        f"({wc['cold_submit_seconds']*1e3:.1f} ms -> "
+        f"{wc['warm_submit_seconds']*1e6:.0f} us)"
+    )
+    assert wc["artifact_bit_identical"]
+    assert wc["speedup"] >= 50.0
+    assert record["coalescing"]["pipeline_runs"] == 1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    import argparse
+    import json
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--smoke", action="store_true",
+                    help="scaled-down CI pass; no JSON output")
+    args = ap.parse_args()
+
+    if args.smoke:
+        res = run_smoke()
+        wc, co = res["warm_vs_cold"], res["coalescing"]
+        print("service smoke ok:")
+        print(
+            f"  cold {wc['cold_submit_seconds']*1e3:.1f} ms, warm "
+            f"{wc['warm_submit_seconds']*1e3:.3f} ms "
+            f"({wc['speedup']:.1f}x), bit identical: "
+            f"{wc['artifact_bit_identical']}"
+        )
+        print(
+            f"  coalescing: {co['submitters']} submitters -> "
+            f"{co['pipeline_runs']} pipeline run(s), "
+            f"{co['coalesced_submits']} coalesced"
+        )
+    else:
+        record = collect_record()
+        out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+        out.write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        wc, co = record["warm_vs_cold"], record["coalescing"]
+        print(f"wrote {out}")
+        print(
+            f"  warm vs cold: {wc['cold_submit_seconds']*1e3:.1f} ms -> "
+            f"{wc['warm_submit_seconds']*1e6:.0f} us "
+            f"({wc['speedup']:.0f}x); bit identical: "
+            f"{wc['artifact_bit_identical']}"
+        )
+        print(
+            f"  coalescing: {co['submitters']} submitters -> "
+            f"{co['pipeline_runs']} pipeline run(s), "
+            f"{co['coalesced_submits']} coalesced in "
+            f"{co['wall_seconds']*1e3:.1f} ms"
+        )
+        assert wc["speedup"] >= 50.0, (
+            f"warm submit only {wc['speedup']:.1f}x faster than cold"
+        )

@@ -53,6 +53,16 @@ the steady-state throughput; volume files stream out-of-core via the
         for field in timesteps:
             result = s.run(field)
 
+Serving many callers — the service layer computes each distinct
+``(volume content, result config)`` pair once and answers every repeat
+or concurrent duplicate from a content-addressed cache (``repro serve``
+runs the same engine as an HTTP daemon; see ``docs/SERVICE.md``)::
+
+    with repro.open_service("./msc-cache") as svc:
+        job = svc.submit(field, persistence=0.05, ranks=8,
+                         hierarchy=True, wait=True)
+        print(svc.query(key=job.key, persistence=0.1))
+
 The lower-level entry points (``compute_morse_smale_complex`` for a bare
 serial complex with its cancellation hierarchy,
 ``ParallelMSComplexPipeline`` for full configuration control) remain
@@ -60,7 +70,14 @@ available below the facade.
 """
 
 from repro import api, obs
-from repro.api import compute, load_hierarchy, open_session, query
+from repro.api import (
+    ServiceClient,
+    compute,
+    load_hierarchy,
+    open_service,
+    open_session,
+    query,
+)
 from repro.core.config import MergeSchedule, PipelineConfig
 from repro.core.options import ExecutionOptions
 from repro.core.pipeline import (
@@ -83,6 +100,7 @@ __all__ = [
     "PipelineConfig",
     "PipelineResult",
     "PipelineSession",
+    "ServiceClient",
     "StructuredGrid",
     "api",
     "compute",
@@ -90,6 +108,7 @@ __all__ = [
     "compute_morse_smale_complex",
     "load_hierarchy",
     "obs",
+    "open_service",
     "open_session",
     "query",
     "__version__",

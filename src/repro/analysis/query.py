@@ -89,10 +89,13 @@ class QueryResult:
 
 
 def load_hierarchy(
-    path: str | Path,
+    source: str | Path | bytes,
 ) -> dict[int, MSComplexHierarchy]:
     """Load the persisted cancellation hierarchies of a ``.msc`` v2 file.
 
+    ``source`` is a file path or the complete ``.msc`` image as
+    ``bytes`` — the form the service result cache holds hot entries in,
+    so a cached artifact answers queries without touching disk.
     Returns one :class:`~repro.analysis.hierarchy.MSComplexHierarchy`
     per output block id.  Load once and pass the result to
     :func:`query` to answer many thresholds without re-reading the file.
@@ -101,19 +104,20 @@ def load_hierarchy(
     """
     return {
         bid: MSComplexHierarchy.from_arrays(arrays)
-        for bid, arrays in read_msc_hierarchies(path).items()
+        for bid, arrays in read_msc_hierarchies(source).items()
     }
 
 
 def query(
-    source: str | Path | dict[int, MSComplexHierarchy],
+    source: str | Path | bytes | dict[int, MSComplexHierarchy],
     *,
     persistence: float | None = None,
     top_k: int | None = None,
 ) -> QueryResult:
     """Answer one multiscale query against a persisted hierarchy.
 
-    ``source`` is a ``.msc`` v2 path or the mapping returned by
+    ``source`` is a ``.msc`` v2 path, its file image as ``bytes``, or
+    the mapping returned by
     :func:`load_hierarchy` (pass the loaded mapping when sweeping many
     thresholds — the file is then touched exactly once).  Exactly one of
     ``persistence`` (materialize the complex a fresh simplification at

@@ -44,9 +44,11 @@ from repro.core.result import PipelineResult
 from repro.core.session import PipelineSession
 from repro.io.volume import VolumeSpec
 from repro.mesh.grid import StructuredGrid
+from repro.service.client import ServiceClient
 
 __all__ = ["ExecutionOptions", "PipelineSession", "QueryResult",
-           "compute", "load_hierarchy", "open_session", "query"]
+           "ServiceClient", "compute", "load_hierarchy", "open_service",
+           "open_session", "query"]
 
 #: "keyword not passed" marker for the deprecated flat execution
 #: keywords (several have meaningful defaults, including ``None``)
@@ -208,6 +210,42 @@ def open_session(
         flat={},
     )
     return PipelineSession(cfg)
+
+
+def open_service(
+    cache_dir: str,
+    *,
+    max_jobs: int = 2,
+    max_memory_entries: int = 64,
+    default_timeout: float | None = None,
+    session_reuse: bool = True,
+    trace: bool = False,
+) -> ServiceClient:
+    """Open a same-process MS-complex service over a result cache.
+
+    The service front door for library users: submissions are answered
+    from the content-addressed store when the ``(volume content, result
+    config)`` pair was ever computed before, identical concurrent
+    submissions are coalesced into one pipeline run, and multiscale
+    queries are served from cached ``.msc`` v2 hierarchy footers with
+    zero re-simplification::
+
+        with repro.open_service("./msc-cache", max_jobs=2) as svc:
+            job = svc.submit(field, persistence=0.05, ranks=8,
+                             hierarchy=True, wait=True)
+            print(svc.query(key=job.key, persistence=0.1))
+
+    The HTTP daemon (``repro serve``) wraps exactly this client; see
+    ``docs/SERVICE.md``.
+    """
+    return ServiceClient(
+        cache_dir,
+        max_jobs=max_jobs,
+        max_memory_entries=max_memory_entries,
+        default_timeout=default_timeout,
+        session_reuse=session_reuse,
+        trace=trace,
+    )
 
 
 def _facade_config(

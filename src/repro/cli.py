@@ -13,6 +13,7 @@ Commands::
         --workers 4 --persistence 0.05 --output-dir out/
     python -m repro.cli info out.msc
     python -m repro.cli query out.msc --persistence 0.01 0.05 0.2
+    python -m repro.cli serve --cache-dir ./msc-cache --port 8643
     python -m repro.cli synth sinusoid --points 64 --features 4 out.raw
 
 ``query`` serves thresholds out of the hierarchy footer a
@@ -21,6 +22,10 @@ volume is never re-simplified.  ``stream`` pushes a whole time series of
 volume files through one persistent session: worker pools, shared
 memory, and the decomposition plan are reused across steps, and the
 ``mmap`` transport keeps the driver from ever materializing a volume.
+``serve`` runs the MS-complex service daemon: concurrent submissions
+over JSON HTTP, identical in-flight requests coalesced into one
+pipeline run, repeats answered from a content-addressed result cache
+(see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
@@ -239,6 +244,37 @@ def build_parser() -> argparse.ArgumentParser:
                         "instead of querying a threshold")
     q.add_argument("--json", action="store_true",
                    help="emit the query records as JSON on stdout")
+
+    sv = sub.add_parser(
+        "serve",
+        help="run the MS-complex service daemon: accept concurrent "
+             "compute/query requests over JSON HTTP, deduplicate "
+             "identical work, and answer repeats from a "
+             "content-addressed result cache",
+    )
+    sv.add_argument("--cache-dir", default="./msc-cache",
+                    help="root of the content-addressed result store "
+                         "(created if missing; a restarted daemon over "
+                         "the same directory starts warm; default: "
+                         "./msc-cache)")
+    sv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    sv.add_argument("--port", type=int, default=8643,
+                    help="bind port; 0 picks a free one (default: 8643)")
+    sv.add_argument("--max-jobs", type=_positive_int, default=2,
+                    help="concurrent pipeline executions; further jobs "
+                         "queue (default: 2)")
+    sv.add_argument("--mem-cache-entries", type=int, default=64,
+                    help="hot results kept in memory ahead of the disk "
+                         "layer; 0 disables the memory layer "
+                         "(default: 64)")
+    sv.add_argument("--job-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="default per-job wall-time bound applied to "
+                         "requests that carry none (default: unbounded)")
+    sv.add_argument("--no-session-reuse", action="store_true",
+                    help="run every job on a one-shot pipeline instead "
+                         "of persistent per-configuration sessions")
 
     s = sub.add_parser("synth", help="generate a synthetic volume")
     s.add_argument("kind", choices=("sinusoid", "bumps", "jet",
@@ -509,6 +545,44 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.service.client import ServiceClient
+    from repro.service.server import make_server
+
+    try:
+        client = ServiceClient(
+            args.cache_dir,
+            max_jobs=args.max_jobs,
+            max_memory_entries=args.mem_cache_entries,
+            default_timeout=args.job_timeout,
+            session_reuse=not args.no_session_reuse,
+        )
+    except OSError as exc:
+        return _fail(
+            f"cannot open cache dir {args.cache_dir!r}: "
+            f"{exc.strerror or exc}"
+        )
+    try:
+        server = make_server(client, args.host, args.port)
+    except OSError as exc:
+        client.close()
+        return _fail(
+            f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}"
+        )
+    host, port = server.server_address[:2]
+    print(f"repro service on http://{host}:{port} "
+          f"(cache: {args.cache_dir}, max jobs: {args.max_jobs})")
+    print("endpoints: POST /v1/submit · GET /v1/jobs[/<id>[/result]] · "
+          "GET /v1/query · GET /v1/stats · GET /v1/healthz")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown_service()
+    return 0
+
+
 def _cmd_synth(args) -> int:
     from repro.data import (
         gaussian_bumps_field,
@@ -547,6 +621,7 @@ def main(argv: list[str] | None = None) -> int:
         "stream": _cmd_stream,
         "info": _cmd_info,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "synth": _cmd_synth,
     }
     return handlers[args.command](args)

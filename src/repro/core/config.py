@@ -19,6 +19,7 @@ from repro.core.options import (
     BACKEND_KNOB_KINDS,
     MERGE_EXECUTOR_KINDS,
     ExecutionOptions,
+    canonical_fingerprint,
     validate_choice,
 )
 from repro.machine.bgp import BlueGenePParams
@@ -304,6 +305,61 @@ class PipelineConfig:
                 name: getattr(self, name)
                 for name in _OPTION_FIELD_NAMES
             }
+        )
+
+    def result_fingerprint(self) -> str:
+        """Content hash of everything that determines the *output*.
+
+        This is the config half of the service cache key (the other
+        half is the volume content hash, see
+        :func:`repro.io.volume.content_hash`).  It covers the fields
+        the computed complex depends on — decomposition, persistence
+        threshold, the *resolved* merge schedule, tie handling — plus
+        the additive ``hierarchy`` artifact flag, and deliberately
+        excludes every pure-scheduling knob: results are bit-identical
+        across workers/executors/transports/kernel backends (the
+        invariant the golden tests pin), so a request computed with
+        ``workers=1`` must be a cache hit for the same volume requested
+        with ``workers=8``.
+
+        The merge schedule is fingerprinted resolved
+        (:meth:`resolve_radices`), so equivalent spellings —
+        ``merge_radices="full", max_radix=2`` vs the explicit
+        ``[2, 2, 2]`` on 8 blocks — key identically.
+        """
+        return canonical_fingerprint(
+            "pipeline-result",
+            {
+                "num_blocks": self.num_blocks,
+                "num_procs": self.resolved_num_procs,
+                "splits": list(self.splits) if self.splits else None,
+                "persistence_threshold": float(self.persistence_threshold),
+                "radices": self.resolve_radices(),
+                "simplify_at_zero_persistence": (
+                    self.simplify_at_zero_persistence
+                ),
+                "hierarchy": self.hierarchy,
+            },
+        )
+
+    def fingerprint(self) -> str:
+        """Content hash over the full configuration, execution included.
+
+        Combines :meth:`result_fingerprint` with the
+        :meth:`~repro.core.options.ExecutionOptions.fingerprint` of the
+        grouped execution knobs: equal configs spelled any way (flat
+        keywords, ``options=``, CLI flags) hash identically, and any
+        knob change — scheduling or not — changes the digest.  Use
+        :meth:`result_fingerprint` for cache keying and this for exact
+        run-configuration identity (journals, provenance records).
+        """
+        return canonical_fingerprint(
+            "pipeline-config",
+            {
+                "result": self.result_fingerprint(),
+                "options": self.execution_options.fingerprint(),
+                "validate": self.validate,
+            },
         )
 
     def resolve_radices(self) -> list[int]:

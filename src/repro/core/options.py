@@ -27,6 +27,8 @@ working for one release behind a :class:`DeprecationWarning`; see
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, fields
 
 from repro.morse.tracing import KERNEL_BACKENDS
@@ -36,8 +38,31 @@ from repro.parallel.transport import TRANSPORT_KINDS
 __all__ = [
     "MERGE_EXECUTOR_KINDS",
     "ExecutionOptions",
+    "canonical_fingerprint",
     "validate_choice",
 ]
+
+
+def canonical_fingerprint(kind: str, payload: dict) -> str:
+    """Stable SHA-256 hex digest of a keyword payload.
+
+    The canonical encoding — sorted-key JSON over plain
+    str/int/float/bool/None/list values — is what makes every
+    fingerprint in the package *spelling-independent*: any two code
+    paths (flat keywords, ``options=``, CLI flags, a parsed HTTP
+    request) that arrive at equal field values produce the same digest,
+    and any field change produces a different one.  ``kind`` namespaces
+    the digest so an options fingerprint can never collide with a
+    config fingerprint built from coincidentally equal payloads.
+    """
+    try:
+        body = json.dumps(payload, sort_keys=True, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"{kind} fingerprint payload is not canonically "
+            f"JSON-encodable: {exc}"
+        ) from None
+    return hashlib.sha256(f"{kind}:{body}".encode()).hexdigest()
 
 #: merge-stage backend choices: "serial" runs root merges inside the
 #: virtual ranks, "pool" fans each round's independent merges over the
@@ -147,3 +172,16 @@ class ExecutionOptions:
     def to_kwargs(self) -> dict:
         """The options as flat ``PipelineConfig`` keyword arguments."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every execution knob.
+
+        Spelling-independent: equal option values — whether built from
+        flat keywords, ``options=``, CLI flags, or a service request —
+        always produce the same digest, and changing any knob produces
+        a different one (the property suite pins both directions).
+        Note this fingerprints *how* a run executes; the result cache
+        keys on :meth:`repro.core.config.PipelineConfig.result_fingerprint`
+        instead, which deliberately excludes the pure-scheduling knobs.
+        """
+        return canonical_fingerprint("execution-options", self.to_kwargs())

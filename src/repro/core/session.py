@@ -59,7 +59,7 @@ from repro.core.pipeline import (
     validate_block_payload,
 )
 from repro.core.result import PipelineResult
-from repro.io.volume import VolumeSpec
+from repro.io.volume import VolumeSpec, invalidate_map_cache
 from repro.mesh.grid import StructuredGrid
 from repro.obs.trace import Tracer
 from repro.parallel.executor import FaultTolerantExecutor
@@ -188,6 +188,9 @@ class PipelineSession:
         """Release every owned OS resource: pools and the shm slot.
 
         Idempotent.  After close the session refuses further runs.
+        Also drops the driver-process memmap cache: a service process
+        that overwrites a volume file between jobs must never serve
+        blocks from a map of the file's previous contents.
         """
         if self._closed:
             return
@@ -197,6 +200,7 @@ class PipelineSession:
                 ex.close()
         self._compute_exec = None
         self._merge_exec = None
+        invalidate_map_cache()
 
     @property
     def closed(self) -> bool:

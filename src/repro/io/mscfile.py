@@ -226,13 +226,29 @@ def _parse_footer(
     return version, blocks, hiers
 
 
-def read_msc_file(path: str | Path) -> dict[int, dict[str, np.ndarray]]:
+def _source_bytes(source: str | Path | bytes) -> tuple[bytes, str]:
+    """The raw file image of a reader source, plus its display name.
+
+    Readers accept either a path or the complete file image as
+    ``bytes`` — the in-memory form the service result cache serves hot
+    entries from, so a cached artifact can be read without touching
+    disk.
+    """
+    if isinstance(source, (bytes, bytearray, memoryview)):
+        return bytes(source), "<memory>"
+    return Path(source).read_bytes(), str(source)
+
+
+def read_msc_file(
+    source: str | Path | bytes,
+) -> dict[int, dict[str, np.ndarray]]:
     """Read all MS complex blocks of a file, keyed by block id.
 
-    Reads both v1 and v2 files (the hierarchy section of a v2 file is
-    simply skipped; see :func:`read_msc_hierarchies`).
+    ``source`` is a path or the whole file image as ``bytes``.  Reads
+    both v1 and v2 files (the hierarchy section of a v2 file is simply
+    skipped; see :func:`read_msc_hierarchies`).
     """
-    data = Path(path).read_bytes()
+    data, path = _source_bytes(source)
     _version, blocks, _hiers = _parse_footer(data, path)
     out: dict[int, dict[str, np.ndarray]] = {}
     for block_id, off, ln in blocks:
@@ -241,18 +257,19 @@ def read_msc_file(path: str | Path) -> dict[int, dict[str, np.ndarray]]:
 
 
 def read_msc_hierarchies(
-    path: str | Path,
+    source: str | Path | bytes,
 ) -> dict[int, dict[str, np.ndarray]]:
     """Read the persisted cancellation hierarchies of a v2 file.
 
-    Returns the flat arrays per block id (feed them to
+    ``source`` is a path or the whole file image as ``bytes``.  Returns
+    the flat arrays per block id (feed them to
     :meth:`repro.analysis.hierarchy.MSComplexHierarchy.from_arrays`).
     Raises a readable :class:`ValueError` for v1 files and for v2 files
     whose hierarchy index is empty — both mean no hierarchy was recorded
     when the file was written (recompute with the ``hierarchy`` option
     enabled to get one).
     """
-    data = Path(path).read_bytes()
+    data, path = _source_bytes(source)
     version, _blocks, hiers = _parse_footer(data, path)
     if version == 1 or not hiers:
         raise ValueError(

@@ -14,6 +14,7 @@ vertex layers included).
 
 from __future__ import annotations
 
+import hashlib
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +29,7 @@ __all__ = [
     "write_volume",
     "read_volume",
     "read_block",
+    "content_hash",
     "invalidate_map_cache",
 ]
 
@@ -114,9 +116,16 @@ def _map_key(spec: VolumeSpec, st: os.stat_result) -> tuple:
 
 
 def invalidate_map_cache() -> None:
-    """Drop the per-process memmap cache (next read remaps the file)."""
+    """Drop the per-process memmap and content-hash caches.
+
+    The next :func:`read_block` remaps the file and the next
+    :func:`content_hash` re-reads it.  Call after overwriting a volume
+    file in place from this process; long-lived service processes call
+    this on session close so no stale map outlives the job it served.
+    """
     global _MAP_CACHE
     _MAP_CACHE = None
+    _HASH_CACHE.clear()
 
 
 def _mapped_volume(spec: VolumeSpec) -> tuple[np.ndarray, bool]:
@@ -140,6 +149,64 @@ def _mapped_volume(spec: VolumeSpec) -> tuple[np.ndarray, bool]:
     vol = mm.reshape(spec.dims, order="F")
     _MAP_CACHE = (key, vol)
     return vol, False
+
+
+#: per-process content-hash memo: stat-keyed like the map cache, so a
+#: service process hashes each (unchanged) volume file exactly once no
+#: matter how many submissions reference it
+_HASH_CACHE: dict[tuple, str] = {}
+
+#: chunk size of the streaming file hash (1 MiB)
+_HASH_CHUNK = 1 << 20
+
+
+def content_hash(source: VolumeSpec | np.ndarray) -> str:
+    """Canonical SHA-256 content hash of a scalar field.
+
+    The hash pins everything that determines the samples a pipeline run
+    reads: the vertex dims, the sample dtype, and the raw sample bytes
+    in on-disk order (x fastest).  Two sources hash identically exactly
+    when block reads from them are bit-identical — the property the
+    content-addressed result cache (:mod:`repro.service.store`) keys on.
+
+    A :class:`VolumeSpec` is hashed by streaming the file in chunks
+    (nothing is materialized); repeat hashes of an unchanged file are
+    served from a per-process cache keyed by the file's stat identity,
+    so a daemon pays the read once per file version.  An in-memory
+    array is hashed over the same canonical layout a
+    :func:`write_volume` of it would produce (float64 samples), so
+    equal-valued arrays hash equally regardless of memory order.
+    """
+    if isinstance(source, VolumeSpec):
+        st = os.stat(source.path)
+        key = _map_key(source, st)
+        cached = _HASH_CACHE.get(key)
+        if cached is not None:
+            return cached
+        if st.st_size != source.nbytes:
+            raise ValueError(
+                f"{source.path}: expected {source.nbytes} bytes for dims "
+                f"{source.dims} dtype {source.dtype}, found {st.st_size}"
+            )
+        h = hashlib.sha256()
+        h.update(f"volume:{source.dims}:{source.dtype}:".encode())
+        with get_tracer().span(
+            "io.content_hash", cat="io", path=source.path,
+            bytes=source.nbytes,
+        ):
+            with open(source.path, "rb") as f:
+                while chunk := f.read(_HASH_CHUNK):
+                    h.update(chunk)
+        digest = h.hexdigest()
+        _HASH_CACHE[key] = digest
+        return digest
+    values = np.asarray(source, dtype=np.float64)
+    if values.ndim != 3:
+        raise ValueError("content_hash needs a 3D field or a VolumeSpec")
+    h = hashlib.sha256()
+    h.update(f"volume:{values.shape}:float64:".encode())
+    h.update(np.ascontiguousarray(values.ravel(order="F")).tobytes())
+    return h.hexdigest()
 
 
 def read_block(spec: VolumeSpec, box: Box) -> np.ndarray:

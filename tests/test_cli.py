@@ -587,3 +587,35 @@ class TestStream:
         assert rc == 2
         err = capsys.readouterr().err
         assert "in-memory input" in err and "mmap" in err
+
+
+class TestServe:
+    def test_serve_args(self):
+        args = build_parser().parse_args([
+            "serve", "--cache-dir", "/tmp/msc", "--port", "0",
+            "--max-jobs", "3", "--mem-cache-entries", "8",
+            "--job-timeout", "30", "--no-session-reuse",
+        ])
+        assert args.command == "serve"
+        assert args.cache_dir == "/tmp/msc"
+        assert args.port == 0
+        assert args.max_jobs == 3
+        assert args.mem_cache_entries == 8
+        assert args.job_timeout == 30.0
+        assert args.no_session_reuse is True
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.cache_dir == "./msc-cache"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8643
+        assert args.max_jobs == 2
+        assert args.job_timeout is None
+        assert args.no_session_reuse is False
+
+    def test_unwritable_cache_dir_fails_readably(self, capsys):
+        rc = main([
+            "serve", "--cache-dir", "/proc/nope/cache", "--port", "0",
+        ])
+        assert rc == 2
+        assert "cache dir" in capsys.readouterr().err

@@ -315,3 +315,21 @@ class TestSessionChaos:
             # no fresh pool, no fresh degradation on the later step
             assert session._compute_exec._degraded
             assert not second.stats.faults.degraded
+
+
+class TestCloseInvalidatesVolumeCaches:
+    def test_close_clears_map_and_hash_caches(self, tmp_path):
+        """A closed session must not pin stale volume state: closing
+        invalidates the process-wide memmap handle and the stat-keyed
+        content-hash cache (a rewritten volume file then re-hashes)."""
+        from repro.io import volume as vol
+
+        field = fields(1, dims=(8, 8, 8))[0]
+        spec = write_volume(tmp_path / "v.raw", field, dtype="float64")
+        cfg = config(transport="mmap")
+        with PipelineSession(cfg) as session:
+            session.run(spec)
+            vol.content_hash(spec)
+            assert vol._HASH_CACHE
+        assert vol._MAP_CACHE is None
+        assert not vol._HASH_CACHE

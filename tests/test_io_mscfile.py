@@ -193,3 +193,23 @@ class TestHierarchyFooter:
         footer_offset = int.from_bytes(v1.read_bytes()[-12:-4], "little")
         assert (v2.read_bytes()[:footer_offset]
                 == v1.read_bytes()[:footer_offset])
+
+
+class TestBytesSources:
+    """``read_msc_*`` accept an in-memory file image (the service's
+    hot-cache path: query answers parse cached bytes, never disk)."""
+
+    def test_read_msc_file_from_bytes(self, tmp_path, payload):
+        path = tmp_path / "img.msc"
+        write_msc_file(path, [(0, payload), (2, payload)])
+        from_bytes = read_msc_file(path.read_bytes())
+        from_path = read_msc_file(path)
+        assert set(from_bytes) == set(from_path) == {0, 2}
+        for key in payload:
+            np.testing.assert_array_equal(
+                from_bytes[2][key], from_path[2][key]
+            )
+
+    def test_bad_magic_bytes_rejected(self):
+        with pytest.raises(ValueError, match="magic"):
+            read_msc_file(b"this is not an msc file....")
