@@ -159,7 +159,9 @@ if __name__ == "__main__":
         print(f"  fresh_per_s: {case['fresh_per_s']:.1f}")
         print(f"  speedup: {case['speedup']:.2f}x")
     else:
-        record = collect()
+        from bench_util import attach_peak_rss
+
+        record = attach_peak_rss(collect())
         out = (Path(__file__).resolve().parent.parent
                / "BENCH_hierarchy_query.json")
         out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")

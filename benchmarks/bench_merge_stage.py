@@ -245,9 +245,9 @@ def bench_merge_before_after_json(benchmark):
     """Regenerate the repo-root ``BENCH_merge_stage.json`` record."""
     from pathlib import Path
 
-    from bench_util import emit_json
+    from bench_util import attach_peak_rss, emit_json
 
-    record = collect_before_after()
+    record = attach_peak_rss(collect_before_after())
     path = emit_json(
         "BENCH_merge_stage",
         record,
@@ -277,7 +277,9 @@ if __name__ == "__main__":
         for k, v in sorted(res.items()):
             print(f"  {k}: {v:.4f}s")
     else:
-        record = collect_before_after()
+        from bench_util import attach_peak_rss
+
+        record = attach_peak_rss(collect_before_after())
         out = Path(__file__).resolve().parent.parent / "BENCH_merge_stage.json"
         out.write_text(
             json.dumps(record, indent=2, sort_keys=True) + "\n"

@@ -206,9 +206,9 @@ def bench_service_warm_vs_cold(benchmark):
 
 def bench_service_before_after_json(benchmark):
     """Regenerate the repo-root ``BENCH_service.json`` record."""
-    from bench_util import emit_json
+    from bench_util import attach_peak_rss, emit_json
 
-    record = collect_record()
+    record = attach_peak_rss(collect_record())
     path = emit_json(
         "BENCH_service",
         record,
@@ -252,7 +252,9 @@ if __name__ == "__main__":
             f"{co['coalesced_submits']} coalesced"
         )
     else:
-        record = collect_record()
+        from bench_util import attach_peak_rss
+
+        record = attach_peak_rss(collect_record())
         out = Path(__file__).resolve().parent.parent / "BENCH_service.json"
         out.write_text(
             json.dumps(record, indent=2, sort_keys=True) + "\n"

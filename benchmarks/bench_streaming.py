@@ -332,9 +332,9 @@ def bench_streaming_steady_state(benchmark):
 
 def bench_streaming_before_after_json(benchmark):
     """Regenerate the repo-root ``BENCH_streaming.json`` record."""
-    from bench_util import emit_json
+    from bench_util import attach_peak_rss, emit_json
 
-    record = collect_record()
+    record = attach_peak_rss(collect_record())
     path = emit_json(
         "BENCH_streaming",
         record,
@@ -373,7 +373,9 @@ if __name__ == "__main__":
             )
         print(f"  bit identity: {res['bit_identity']}")
     else:
-        record = collect_record(args.steps)
+        from bench_util import attach_peak_rss
+
+        record = attach_peak_rss(collect_record(args.steps))
         out = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
         out.write_text(
             json.dumps(record, indent=2, sort_keys=True) + "\n"

@@ -20,7 +20,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
-from bench_util import emit_json, run_pipeline  # noqa: E402
+from bench_util import attach_peak_rss, emit_json, run_pipeline  # noqa: E402
 
 from repro.data import gaussian_bumps_field  # noqa: E402
 
@@ -83,6 +83,7 @@ def main() -> int:
         "metrics_series": len(r_full.stats.metrics),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     }
+    attach_peak_rss(record)
     path = emit_json(
         "trace_overhead", record,
         path=Path(__file__).parent.parent / "BENCH_trace_overhead.json",

@@ -51,6 +51,35 @@ def emit_table(name: str, lines: list[str]) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
 
+def peak_rss_kib() -> int:
+    """Peak resident-set size of this process so far, in KiB.
+
+    Uniform sampling point for every benchmark record: ``ru_maxrss`` is
+    a high-water mark the kernel maintains for free, so reading it costs
+    nothing and needs no sampling thread.  Linux reports the value in
+    KiB already; macOS reports bytes and is normalized here.
+    """
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def attach_peak_rss(record: dict) -> dict:
+    """Stamp ``record["peak_rss_kib"]`` with the current high-water mark.
+
+    Call just before :func:`emit_json` so every ``BENCH_*.json`` carries
+    the same memory metric.  Returns the record for chaining.  Note the
+    mark covers the whole process lifetime (imports, warm-up, every
+    sweep run so far), not one measurement in isolation — per-config
+    driver RSS needs a subprocess probe (see ``bench_outofcore``).
+    """
+    record["peak_rss_kib"] = peak_rss_kib()
+    return record
+
+
 def emit_json(name: str, payload: dict, path: Path | None = None) -> Path:
     """Persist a machine-readable benchmark record as JSON.
 

@@ -15,6 +15,7 @@ Commands::
     python -m repro.cli query out.msc --persistence 0.01 0.05 0.2
     python -m repro.cli serve --cache-dir ./msc-cache --port 8643
     python -m repro.cli synth sinusoid --points 64 --features 4 out.raw
+    python -m repro.cli gen sinusoid big.raw --dims 1152 1152 1152
 
 ``query`` serves thresholds out of the hierarchy footer a
 ``compute --hierarchy`` run persisted — every row is a pure lookup, the
@@ -25,7 +26,10 @@ memory, and the decomposition plan are reused across steps, and the
 ``serve`` runs the MS-complex service daemon: concurrent submissions
 over JSON HTTP, identical in-flight requests coalesced into one
 pipeline run, repeats answered from a content-addressed result cache
-(see ``docs/SERVICE.md``).
+(see ``docs/SERVICE.md``).  ``gen`` streams a synthetic volume to disk
+slab-by-slab without ever materializing it, so paper-scale inputs
+(1152³ ≈ 5.7 GiB at float32) can be generated on any machine; pair
+with ``compute --merge-spill-budget`` for a fully out-of-core run.
 """
 
 from __future__ import annotations
@@ -80,6 +84,45 @@ def _positive_int(text: str) -> int:
             f"must be a positive integer (>= 1), got {value}"
         )
     return value
+
+
+#: multipliers of the ``--merge-spill-budget`` size suffixes
+_SIZE_SUFFIXES = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def _size_bytes(text: str) -> int:
+    """argparse type for byte sizes with optional K/M/G suffix.
+
+    Accepts plain byte counts (``1048576``, ``0``) and suffixed sizes
+    (``64M``, ``2G``, ``512k``, optionally with a trailing ``B`` as in
+    ``64MB``); suffixes are binary (K = 1024).
+    """
+    raw = text.strip().lower().removesuffix("b")
+    mult = 1
+    if raw and raw[-1] in _SIZE_SUFFIXES:
+        mult = _SIZE_SUFFIXES[raw[-1]]
+        raw = raw[:-1]
+    try:
+        value = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a byte size like 1048576, 64M, or 2G, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"byte size must be >= 0, got {text!r}"
+        )
+    return value * mult
+
+
+_SPILL_BUDGET_HELP = (
+    "resident-byte budget of the merge stage's packed-blob spool "
+    "(e.g. 64M, 2G, or plain bytes; 0 spills everything).  Over "
+    "budget, merged snapshots spill LRU-first to a run-scoped temp "
+    "dir between radix rounds, keeping driver memory roughly flat "
+    "as block count grows; outputs are bit-identical at any budget "
+    "(default: unbounded, never spills)"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +182,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "pointer exactly when the block is large enough "
                         "to amortize the whole-array passes; results "
                         "are bit-identical either way)")
+    c.add_argument("--merge-spill-budget", type=_size_bytes, default=None,
+                   metavar="SIZE", help=_SPILL_BUDGET_HELP)
     c.add_argument("--persistence", type=float, default=0.0,
                    help="simplification threshold")
     c.add_argument("--block-timeout", type=float, default=None,
@@ -203,6 +248,9 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=("auto", "serial", "pool"))
     st.add_argument("--kernel-backend", default="auto",
                     choices=("auto", "dfs", "pointer"))
+    st.add_argument("--merge-spill-budget", type=_size_bytes,
+                    default=None, metavar="SIZE",
+                    help=_SPILL_BUDGET_HELP)
     st.add_argument("--persistence", type=float, default=0.0,
                     help="simplification threshold")
     st.add_argument("--max-retries", type=int, default=2, metavar="N")
@@ -287,6 +335,33 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--seed", type=int, default=0)
     s.add_argument("--dtype", default="float32",
                    choices=("uint8", "float32", "float64"))
+
+    g = sub.add_parser(
+        "gen",
+        help="stream a synthetic volume to disk slab-by-slab (bounded "
+             "memory at any size; pair with compute "
+             "--merge-spill-budget for a fully out-of-core run)",
+    )
+    g.add_argument("kind", choices=("sinusoid", "bumps"),
+                   help="field family (chunked generation supports the "
+                        "elementwise families; see `synth` for the rest)")
+    g.add_argument("output")
+    g.add_argument("--dims", nargs=3, type=_positive_int, default=None,
+                   metavar=("NX", "NY", "NZ"),
+                   help="volume dims (alternative to --points)")
+    g.add_argument("--points", type=_positive_int, default=None,
+                   help="points per side of a cubic volume")
+    g.add_argument("--features", type=_positive_int, default=4,
+                   help="features per side (sinusoid) or bump count "
+                        "(default: 4)")
+    g.add_argument("--seed", type=int, default=0,
+                   help="rng seed of the bump placement (bumps only)")
+    g.add_argument("--dtype", default="float32",
+                   choices=("uint8", "float32", "float64"))
+    g.add_argument("--slab-depth", type=_positive_int, default=16,
+                   metavar="DZ",
+                   help="z-planes generated per slab; peak memory is "
+                        "one NX*NY*DZ float64 slab (default: 16)")
     return parser
 
 
@@ -341,6 +416,7 @@ def _cmd_compute(args) -> int:
                 retry_backoff=args.retry_backoff,
                 degrade_on_failure=not args.no_degrade,
                 hierarchy=args.hierarchy,
+                merge_spill_budget_bytes=args.merge_spill_budget,
             ),
             trace=args.trace is not None,
             metrics=args.metrics is not None,
@@ -419,6 +495,7 @@ def _cmd_stream(args) -> int:
                 max_retries=args.max_retries,
                 retry_backoff=args.retry_backoff,
                 degrade_on_failure=not args.no_degrade,
+                merge_spill_budget_bytes=args.merge_spill_budget,
             ),
         )
         # fail on impossible transport/input combinations before the
@@ -612,6 +689,34 @@ def _cmd_synth(args) -> int:
     return 0
 
 
+def _cmd_gen(args) -> int:
+    from repro.data import write_volume_chunked
+
+    if (args.dims is None) == (args.points is None):
+        return _fail("gen needs exactly one of --dims and --points")
+    kwargs = dict(
+        dtype=args.dtype,
+        slab_depth=args.slab_depth,
+    )
+    if args.dims is not None:
+        kwargs["dims"] = tuple(args.dims)
+    else:
+        kwargs["points_per_side"] = args.points
+    if args.kind == "sinusoid":
+        kwargs["features_per_side"] = args.features
+    else:
+        kwargs["num_bumps"] = args.features
+        kwargs["seed"] = args.seed
+    try:
+        spec = write_volume_chunked(args.output, args.kind, **kwargs)
+    except (OSError, ValueError) as exc:
+        return _fail(str(exc))
+    print(f"wrote {spec.path}: dims={spec.dims} dtype={spec.dtype} "
+          f"({spec.nbytes} bytes, streamed in z-slabs of "
+          f"{args.slab_depth})")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -623,6 +728,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "serve": _cmd_serve,
         "synth": _cmd_synth,
+        "gen": _cmd_gen,
     }
     return handlers[args.command](args)
 

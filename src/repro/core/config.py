@@ -130,6 +130,14 @@ class PipelineConfig:
         ``.msc`` v2 hierarchy footer on result write, enabling
         re-simplification-free multiscale queries
         (:func:`repro.api.query`).  Off by default.
+    merge_spill_budget_bytes:
+        Resident-byte budget of the pooled merge stage's packed-blob
+        spool.  ``None`` (default) never spills — every blob stays in
+        driver memory, byte-for-byte the pre-spool pipeline.  A bound
+        spills least-recently-used blobs to disk between radix rounds
+        (see :class:`repro.io.spool.BlobSpool`), keeping peak driver
+        RSS roughly flat as block count grows.  Pure scheduling:
+        outputs are bit-identical at any budget.
     faults:
         Optional :class:`repro.parallel.faults.FaultPlan` injecting
         deterministic failures into the compute and merge stages — the
@@ -175,6 +183,7 @@ class PipelineConfig:
     degrade_on_failure: bool = True
     max_pool_restarts: int = 2
     hierarchy: bool = False
+    merge_spill_budget_bytes: int | None = None
     faults: Any = None
     trace: bool = False
     metrics: bool = False
@@ -193,6 +202,15 @@ class PipelineConfig:
                 )
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.merge_spill_budget_bytes is not None:
+            if (
+                not isinstance(self.merge_spill_budget_bytes, int)
+                or isinstance(self.merge_spill_budget_bytes, bool)
+                or self.merge_spill_budget_bytes < 0
+            ):
+                raise ValueError(
+                    "merge_spill_budget_bytes must be None or an int >= 0"
+                )
         # all backend knobs fail early, at config construction, with
         # the uniform "choose one of {...}" error — never deep inside
         # the pipeline

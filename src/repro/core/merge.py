@@ -34,6 +34,7 @@ from typing import Any, Callable
 
 from repro.core.glue import AddressIndex, GlueStats, glue_into
 from repro.io.mscfile import deserialize_payload, serialize_payload
+from repro.io.spool import SpilledBlobRef, blob_bytes
 from repro.morse.msc import Cancellation, MorseSmaleComplex
 from repro.morse.simplify import simplify_ms_complex
 from repro.morse.validate import assert_ms_complex_valid
@@ -76,9 +77,16 @@ def pack_complex(msc: MorseSmaleComplex) -> bytes:
     return serialize_payload(msc.to_payload())
 
 
-def unpack_complex(blob: bytes) -> MorseSmaleComplex:
-    """Inverse of :func:`pack_complex`."""
-    return MorseSmaleComplex.from_payload(deserialize_payload(blob))
+def unpack_complex(blob) -> MorseSmaleComplex:
+    """Inverse of :func:`pack_complex`.
+
+    Accepts packed ``bytes`` or a :class:`repro.io.spool.SpilledBlobRef`
+    handle — a spilled blob is materialized from its spool file first,
+    so every consumer of the packed-blob currency (pooled merge
+    workers, retry restores, the write stage) reads through the spool
+    transparently.
+    """
+    return MorseSmaleComplex.from_payload(deserialize_payload(blob_bytes(blob)))
 
 
 def perform_merge(
@@ -142,14 +150,16 @@ def merge_with_retries(
     incremental: bool = True,
     fault_hook: Callable[[int, list[bytes]], list[bytes]] | None = None,
     on_retry: Callable[[int, BaseException], None] | None = None,
-    root_blob: bytes | None = None,
+    root_blob: bytes | SpilledBlobRef | None = None,
 ) -> tuple[MorseSmaleComplex, MergeOutcome, int]:
     """Fault-tolerant :func:`perform_merge`: retry from a pristine snapshot.
 
     :func:`perform_merge` mutates the root in place, so a crash mid-merge
     leaves it unusable.  The snapshot needed to recover is taken
-    *lazily*: when the caller already holds the root's packed bytes it
-    passes them as ``root_blob`` (free), otherwise a snapshot is packed
+    *lazily*: when the caller already holds the root's packed bytes —
+    or a spilled :class:`~repro.io.spool.SpilledBlobRef` to them — it
+    passes them as ``root_blob`` (free; a ref is only read back from
+    disk if a restore actually happens), otherwise a snapshot is packed
     up front only when a ``fault_hook`` is installed (chaos runs).  On
     the no-fault fast path nothing is packed at all — member blobs are
     unpacked *before* the root is touched, so the only failures that can
@@ -227,12 +237,18 @@ def merge_with_retries(
 
 @dataclass(frozen=True)
 class MergeSpec:
-    """Picklable work order for one pooled group-root merge."""
+    """Picklable work order for one pooled group-root merge.
+
+    Blob fields hold either packed bytes or picklable
+    :class:`~repro.io.spool.SpilledBlobRef` handles; a worker
+    materializes refs from their spool files on unpack, so specs stay
+    tiny however large the complexes are.
+    """
 
     round_idx: int
     root_block: int
-    root_blob: bytes
-    member_blobs: tuple[bytes, ...]
+    root_blob: bytes | SpilledBlobRef
+    member_blobs: tuple[bytes | SpilledBlobRef, ...]
     #: cut planes remaining *after* this round, one array per axis
     cut_planes: tuple[np.ndarray, np.ndarray, np.ndarray]
     persistence_threshold: float

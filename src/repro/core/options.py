@@ -149,6 +149,15 @@ class ExecutionOptions:
         any persistence threshold can later be answered as a pure query
         (:func:`repro.api.query`) with zero re-simplification.  The
         output complex bytes are unchanged; off by default.
+    merge_spill_budget_bytes:
+        Resident-byte budget of the merge stage's packed-blob spool
+        (pooled merge only).  ``None`` (default) keeps every blob in
+        driver memory — byte-for-byte the pre-spool pipeline.  A bound
+        spills least-recently-used blobs to content-addressed files
+        under a run-scoped temp directory between radix rounds, keeping
+        peak driver RSS roughly flat as block count grows; ``0`` spills
+        everything.  Pure scheduling: outputs are bit-identical at any
+        budget (see ``docs/PERFORMANCE.md``, "Out-of-core merge").
     """
 
     workers: int = 1
@@ -162,10 +171,20 @@ class ExecutionOptions:
     degrade_on_failure: bool = True
     max_pool_restarts: int = 2
     hierarchy: bool = False
+    merge_spill_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.merge_spill_budget_bytes is not None:
+            if (
+                not isinstance(self.merge_spill_budget_bytes, int)
+                or isinstance(self.merge_spill_budget_bytes, bool)
+                or self.merge_spill_budget_bytes < 0
+            ):
+                raise ValueError(
+                    "merge_spill_budget_bytes must be None or an int >= 0"
+                )
         for name, kinds in BACKEND_KNOB_KINDS.items():
             validate_choice(name, getattr(self, name), kinds)
 

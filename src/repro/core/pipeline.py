@@ -68,6 +68,7 @@ from repro.core.stats import (
     RankTimeline,
     TransportStats,
 )
+from repro.io.spool import BlobSpool, blob_nbytes
 from repro.io.volume import VolumeSpec, read_block, read_volume
 from repro.machine.costmodel import ComputeWork, CostModel, MergeWork
 from repro.mesh.cubical import CubicalComplex, structure_tables
@@ -484,6 +485,10 @@ class _RunContext:
     #: round-0 inputs were already simplified at the run threshold, so
     #: the first merge round may re-simplify incrementally
     presimplified: bool = True
+    #: packed-blob spool of the pooled merge stage (``None`` outside
+    #: pooled mode): ranks fetch blob *handles* from it instead of
+    #: holding bytes, and the write stage materializes through it
+    spool: BlobSpool | None = None
 
 
 class ParallelMSComplexPipeline:
@@ -590,11 +595,29 @@ class ParallelMSComplexPipeline:
             vertex_bytes = volume.np_dtype.itemsize
 
         registry = MetricsRegistry() if cfg.metrics else None
-        with tracer.span("pipeline.run", cat="pipeline") as run_span:
-            result = self._run_traced(
-                tracer, registry, cfg, grid, volume, dims, vertex_bytes,
-                session=session,
+        # the pooled merge stage's packed-blob spool: blobs stay in
+        # driver memory under `merge_spill_budget_bytes` and spill
+        # LRU-first to a run-scoped disk dir over it (budget None never
+        # spills and never touches disk — the pre-spool fast path)
+        spool: BlobSpool | None = None
+        if cfg.resolved_merge_executor == "pool" and cfg.resolve_radices():
+            spool = BlobSpool(
+                budget_bytes=cfg.merge_spill_budget_bytes,
+                tracer=tracer if cfg.trace else None,
             )
+        try:
+            with tracer.span("pipeline.run", cat="pipeline") as run_span:
+                result = self._run_traced(
+                    tracer, registry, cfg, grid, volume, dims, vertex_bytes,
+                    session=session, spool=spool,
+                )
+            if spool is not None:
+                result.stats.spool = spool.stats.to_dict()
+        finally:
+            # spill files live exactly as long as the run: retries and
+            # the write stage re-read them; nothing outlives this close
+            if spool is not None:
+                spool.close()
         stats = result.stats
         stats.real_seconds_total = run_span.duration
         if cfg.trace:
@@ -608,7 +631,7 @@ class ParallelMSComplexPipeline:
 
     def _run_traced(
         self, tracer, registry, cfg, grid, volume, dims, vertex_bytes,
-        session=None,
+        session=None, spool=None,
     ) -> PipelineResult:
         # transport resolution is input-kind aware: impossible combos
         # (shm + volume file, mmap + in-memory field) fail here with a
@@ -626,6 +649,13 @@ class ParallelMSComplexPipeline:
         num_procs = plan.num_procs
         groups_by_round = plan.groups_by_round
         cuts_by_round = plan.cuts_by_round
+        # the spool participates exactly when the pooled merge pre-pass
+        # will run; otherwise payload blobs flow by value as before
+        if spool is not None and not (
+            cfg.resolved_merge_executor == "pool"
+            and schedule.num_rounds > 0
+        ):
+            spool = None
 
         # ---- compute stage, on the configured executor ----------------
         # wrapped in the fault-tolerance layer: per-block timeouts,
@@ -682,7 +712,17 @@ class ParallelMSComplexPipeline:
                 "compute.dispatch", cat="compute", blocks=len(specs),
                 executor=cfg.resolved_executor, workers=cfg.workers,
             ) as dispatch_span:
-                payload_list = executor.map_blocks(compute_block, specs)
+                on_compute_result = None
+                if spool is not None:
+                    def on_compute_result(spec, payload, _spool=spool):
+                        # strip each landing block's packed blob into
+                        # the spool so a whole volume's worth of blobs
+                        # is never resident in the driver at once
+                        _spool.put(("b", payload.block_id), payload.blob)
+                        payload.blob = b""
+                payload_list = executor.map_blocks(
+                    compute_block, specs, on_result=on_compute_result
+                )
         finally:
             # a session owns its executor across runs; one-shot runs
             # release it (pool, shm slot) here
@@ -724,7 +764,7 @@ class ParallelMSComplexPipeline:
             ) as merge_dispatch:
                 merge_results = self._pooled_merge_prepass(
                     cfg, tracer, payloads, groups_by_round, cuts_by_round,
-                    presimplified, merge_ft, session=session,
+                    presimplified, merge_ft, session=session, spool=spool,
                 )
             merge_wall = merge_dispatch.duration
             logger.info(
@@ -758,6 +798,7 @@ class ParallelMSComplexPipeline:
             merge_mode=merge_mode,
             merge_results=merge_results,
             presimplified=presimplified,
+            spool=spool,
         )
 
         with tracer.span(
@@ -834,6 +875,7 @@ class ParallelMSComplexPipeline:
         presimplified: bool,
         merge_ft: FaultToleranceStats,
         session: Any = None,
+        spool: BlobSpool | None = None,
     ) -> dict[tuple[int, int], MergePayload]:
         """Fan every round's root merges out over a worker pool.
 
@@ -846,6 +888,15 @@ class ParallelMSComplexPipeline:
         bit-identical.  Returns the per-merge results for the rank
         programs to adopt.  A session keeps the merge pool alive across
         runs; one-shot runs build and close it here.
+
+        With a ``spool``, the pre-pass tracks *keys*, not bytes: every
+        blob lives in the spool (compute blobs under ``("b", bid)``,
+        merge snapshots under ``("m", round, root)``), specs are built
+        from :meth:`~repro.io.spool.BlobSpool.handle` at dispatch time
+        — resident bytes or a tiny spilled ref a worker materializes
+        from disk — and each round's results are stripped back into the
+        spool as they land, so driver residency stays bounded by the
+        spill budget however many blocks or rounds there are.
         """
         if session is not None:
             executor, _reused = session._merge_pool_executor(
@@ -866,19 +917,37 @@ class ParallelMSComplexPipeline:
                 tracer=tracer if cfg.trace else None,
             )
         results: dict[tuple[int, int], MergePayload] = {}
-        current = {bid: p.blob for bid, p in payloads.items()}
+        if spool is not None:
+            # track spool keys; bytes stay in the spool until dispatch
+            current: dict[int, Any] = {bid: ("b", bid) for bid in payloads}
+
+            def resolve(entry):
+                return spool.handle(entry)
+
+            def on_merge_result(spec, mp, _spool=spool):
+                # strip each merged snapshot into the spool as it lands
+                # so a whole round's results are never resident at once
+                _spool.put(("m", mp.round_idx, mp.root_block), mp.blob)
+                mp.blob = b""
+        else:
+            current = {bid: p.blob for bid, p in payloads.items()}
+
+            def resolve(entry):
+                return entry
+
+            on_merge_result = None
         try:
             for round_idx, groups in enumerate(groups_by_round):
                 specs = []
                 for root_bid, _root_rank, members in groups:
                     member_blobs = tuple(
-                        current.pop(mbid) for mbid, _ in members
+                        resolve(current.pop(mbid)) for mbid, _ in members
                     )
                     specs.append(
                         MergeSpec(
                             round_idx=round_idx,
                             root_block=root_bid,
-                            root_blob=current[root_bid],
+                            root_blob=resolve(current[root_bid]),
                             member_blobs=member_blobs,
                             cut_planes=cuts_by_round[round_idx],
                             persistence_threshold=(
@@ -891,12 +960,16 @@ class ParallelMSComplexPipeline:
                     )
                 try:
                     round_payloads = executor.map_blocks(
-                        merge_task, specs
+                        merge_task, specs, on_result=on_merge_result
                     )
                 except ComputeStageError as exc:
                     raise MergeStageError(str(exc)) from exc
                 for mp in round_payloads:
-                    current[mp.root_block] = mp.blob
+                    current[mp.root_block] = (
+                        ("m", mp.round_idx, mp.root_block)
+                        if spool is not None
+                        else mp.blob
+                    )
                     results[(mp.round_idx, mp.root_block)] = mp
         finally:
             if session is None:
@@ -969,6 +1042,24 @@ class ParallelMSComplexPipeline:
                 ev.received_bytes
             )
         registry.counter("io.output_bytes").inc(stats.output_bytes)
+        if stats.spool:
+            registry.counter("spool.puts").inc(stats.spool["puts"])
+            registry.counter("spool.spills").inc(stats.spool["spills"])
+            registry.counter("spool.bytes_spilled").inc(
+                stats.spool["bytes_spilled"]
+            )
+            registry.counter("spool.read_backs").inc(
+                stats.spool["read_backs"]
+            )
+            registry.counter("spool.bytes_read_back").inc(
+                stats.spool["bytes_read_back"]
+            )
+            registry.gauge("spool.resident_blobs").set(
+                stats.spool["resident_blobs"]
+            )
+            registry.gauge("spool.resident_peak_bytes").set(
+                stats.spool["resident_peak_bytes"]
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -1022,7 +1113,13 @@ def _rank_main(comm, ctx: _RunContext):
         virt = model.compute_time(work)
         block_virtual.append(virt)
         if pooled_merge:
-            blobs[bid] = payload.blob
+            # with a spool the rank holds blob *handles* — resident
+            # bytes or tiny spilled refs — never forced bytes
+            blobs[bid] = (
+                ctx.spool.handle(("b", bid))
+                if ctx.spool is not None
+                else payload.blob
+            )
             hierarchies[bid] = []
         else:
             complexes[bid] = unpack_complex(payload.blob)
@@ -1087,7 +1184,7 @@ def _rank_main(comm, ctx: _RunContext):
                     message = yield comm.recv(
                         m_rank, tag=_message_tag(round_idx, mbid, nb)
                     )
-                    nbytes = len(message["blob"])
+                    nbytes = blob_nbytes(message["blob"])
                     recv_bytes += nbytes
                     arrivals.append(
                         message["clock"]
@@ -1107,7 +1204,11 @@ def _rank_main(comm, ctx: _RunContext):
                     # adopt the result the merge executor precomputed;
                     # determinism makes it byte-identical to merging here
                     mp = ctx.merge_results[(round_idx, root_bid)]
-                    blobs[root_bid] = mp.blob
+                    blobs[root_bid] = (
+                        ctx.spool.handle(("m", round_idx, root_bid))
+                        if ctx.spool is not None
+                        else mp.blob
+                    )
                     hierarchies[root_bid].extend(mp.hierarchy)
                     outcome = mp.outcome
                     real = mp.real_seconds
@@ -1171,9 +1272,17 @@ def _rank_main(comm, ctx: _RunContext):
     # virtual write, become the cached output blobs of the result, and
     # (pooled mode) are already at hand from the merge executor
     if pooled_merge:
-        final_blobs = blobs
+        # spilled survivors are materialized exactly once, here: the
+        # same bytes price the virtual write, become the result's
+        # cached output blobs, and feed the unpack below
+        if ctx.spool is not None:
+            final_blobs = {
+                bid: ctx.spool.materialize(h) for bid, h in blobs.items()
+            }
+        else:
+            final_blobs = blobs
         final_blocks: dict[int, MorseSmaleComplex] = {}
-        for bid, blob in blobs.items():
+        for bid, blob in final_blobs.items():
             msc = unpack_complex(blob)
             msc.hierarchy.extend(hierarchies[bid])
             final_blocks[bid] = msc

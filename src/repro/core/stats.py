@@ -215,6 +215,10 @@ class PipelineStats:
     #: aggregated metrics snapshot (see :mod:`repro.obs.metrics`) when
     #: the run had ``metrics=True``; ``None`` otherwise
     metrics: dict | None = None
+    #: merge-stage blob-spool counters (puts, spills, read-backs,
+    #: resident peak — see :class:`repro.io.spool.SpoolStats`) when a
+    #: pooled merge ran; ``None`` otherwise
+    spool: dict | None = None
 
     # -- virtual stage times (paper-style reporting) ---------------------
 

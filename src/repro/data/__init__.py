@@ -10,7 +10,11 @@
   for the substitution rationale.
 """
 
-from repro.data.synthetic import sinusoidal_field, gaussian_bumps_field
+from repro.data.synthetic import (
+    sinusoidal_field,
+    gaussian_bumps_field,
+    write_volume_chunked,
+)
 from repro.data.datasets import (
     hydrogen_atom,
     jet_mixture_fraction_proxy,
@@ -25,4 +29,5 @@ __all__ = [
     "rayleigh_taylor_proxy",
     "rayleigh_taylor_sequence",
     "sinusoidal_field",
+    "write_volume_chunked",
 ]

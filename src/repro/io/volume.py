@@ -27,6 +27,7 @@ from repro.obs.trace import get_tracer
 __all__ = [
     "VolumeSpec",
     "write_volume",
+    "write_volume_slabs",
     "read_volume",
     "read_block",
     "content_hash",
@@ -80,7 +81,72 @@ def write_volume(
     ):
         # x fastest on disk
         out.ravel(order="F").tofile(str(path))
+    # an in-place rewrite can collide with the cached map's stat key
+    # (same inode/size, and mtime granularity can hide a fast rewrite),
+    # so the writing process drops its caches unconditionally
+    invalidate_map_cache()
     return VolumeSpec(str(path), tuple(values.shape), dtype)
+
+
+def write_volume_slabs(
+    path: str | Path,
+    dims: tuple[int, int, int],
+    slabs,
+    dtype: str = "float32",
+) -> VolumeSpec:
+    """Stream a raw volume to disk slab-by-slab along z.
+
+    ``slabs`` is an iterable of 3D vertex arrays of shape
+    ``(nx, ny, dz)`` — consecutive z-slabs that concatenated along the
+    last axis form the full ``dims`` volume.  Because the on-disk
+    layout is x fastest, each z-slab is one contiguous run of the file,
+    so the write is a pure sequential append and nothing larger than a
+    slab is ever materialized.  The resulting file is byte-identical to
+    ``write_volume(path, whole_volume, dtype)`` of the concatenated
+    slabs.  Raises :class:`ValueError` when slab shapes do not tile
+    ``dims`` exactly.
+    """
+    if dtype not in SUPPORTED_DTYPES:
+        raise ValueError(f"dtype {dtype!r} unsupported")
+    dims = tuple(int(n) for n in dims)
+    if len(dims) != 3 or any(n < 1 for n in dims):
+        raise ValueError(f"dims must be 3 positive ints, got {dims}")
+    np_dtype = SUPPORTED_DTYPES[dtype]
+    nx, ny, nz = dims
+    written_z = 0
+    with get_tracer().span(
+        "io.write_volume_slabs", cat="io", path=str(path),
+        bytes=int(np.prod(dims)) * np.dtype(np_dtype).itemsize,
+    ) as sp:
+        num_slabs = 0
+        with open(path, "wb") as fh:
+            for slab in slabs:
+                slab = np.asarray(slab)
+                if (
+                    slab.ndim != 3
+                    or slab.shape[0] != nx
+                    or slab.shape[1] != ny
+                ):
+                    raise ValueError(
+                        f"slab shape {slab.shape} does not tile "
+                        f"dims {dims} (expected ({nx}, {ny}, dz))"
+                    )
+                if written_z + slab.shape[2] > nz:
+                    raise ValueError(
+                        f"slabs overflow dims {dims}: z reached "
+                        f"{written_z + slab.shape[2]}"
+                    )
+                slab.astype(np_dtype).ravel(order="F").tofile(fh)
+                written_z += slab.shape[2]
+                num_slabs += 1
+        sp.annotate(slabs=num_slabs)
+    if written_z != nz:
+        raise ValueError(
+            f"slabs underfill dims {dims}: z stopped at {written_z}"
+        )
+    # same stat-key-collision hazard as write_volume: drop the caches
+    invalidate_map_cache()
+    return VolumeSpec(str(path), dims, dtype)
 
 
 def read_volume(spec: VolumeSpec) -> np.ndarray:

@@ -365,17 +365,31 @@ class FaultTolerantExecutor:
         self._published_this_run = False
 
     def map_blocks(
-        self, fn: Callable[[Any], Any], specs: Sequence[Any]
+        self,
+        fn: Callable[[Any], Any],
+        specs: Sequence[Any],
+        on_result: Callable[[Any, Any], None] | None = None,
     ) -> list[Any]:
-        """Apply ``fn`` to every spec with fault tolerance; spec order."""
+        """Apply ``fn`` to every spec with fault tolerance; spec order.
+
+        ``on_result(spec, payload)``, when given, fires once per block
+        the moment its payload has validated — *before* the rest of the
+        wave completes.  The driver uses it to strip heavy payload
+        bytes into the blob spool as they land, so a whole round's
+        results are never resident simultaneously.  It only ever fires
+        for validated successes (retried or re-dispatched attempts
+        fire it once, on the attempt that finally lands).
+        """
         specs = list(specs)
         results: list[Any] = [None] * len(specs)
         pending = [(i, 0) for i in range(len(specs))]
         while pending:
             if self.kind == "process" and not self._degraded:
-                pending = self._pool_round(fn, specs, results, pending)
+                pending = self._pool_round(fn, specs, results, pending,
+                                           on_result)
             else:
-                pending = self._serial_round(fn, specs, results, pending)
+                pending = self._serial_round(fn, specs, results, pending,
+                                             on_result)
         return results
 
     def publish_volume(self, values: Any) -> Any:
@@ -519,7 +533,8 @@ class FaultTolerantExecutor:
 
     # -- serial path -------------------------------------------------------
 
-    def _serial_round(self, fn, specs, results, pending) -> list:
+    def _serial_round(self, fn, specs, results, pending,
+                      on_result=None) -> list:
         """Run every pending block in-process, retrying inline."""
         for idx, attempt in pending:
             spec = specs[idx]
@@ -528,6 +543,8 @@ class FaultTolerantExecutor:
                     self._charge_dispatch(spec, shipped=False)
                     payload = _invoke(fn, spec, attempt, self.plan, "serial")
                     self._validate(spec, payload)
+                    if on_result is not None:
+                        on_result(spec, payload)
                     results[idx] = payload
                     break
                 except Exception as exc:
@@ -572,7 +589,8 @@ class FaultTolerantExecutor:
                 cause,
             )
 
-    def _pool_round(self, fn, specs, results, pending) -> list:
+    def _pool_round(self, fn, specs, results, pending,
+                    on_result=None) -> list:
         """Dispatch one wave of pending blocks to the pool."""
         pool = self._ensure_pool()
         if pool is None:  # degraded while recycling a clogged pool
@@ -590,6 +608,8 @@ class FaultTolerantExecutor:
             try:
                 payload = fut.result(timeout=self.policy.block_timeout)
                 self._validate(spec, payload)
+                if on_result is not None:
+                    on_result(spec, payload)
                 results[idx] = payload
             except FuturesTimeoutError:
                 fut.cancel()

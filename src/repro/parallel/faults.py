@@ -373,12 +373,17 @@ class MergeFaultAdapter:
             if f.kind == "exit" and context == "pool":
                 os._exit(1)
         if any(f.kind == "corrupt" for f in matching) and spec.member_blobs:
+            from repro.io.spool import blob_bytes
+
             rng = random.Random(
                 f"{self.plan.seed}:{spec.round_idx}:"
                 f"{spec.root_block}:{attempt}"
             )
             blobs = list(spec.member_blobs)
             i = rng.randrange(len(blobs))
-            blobs[i] = blobs[i][: max(1, len(blobs[i]) // 2)]
+            # a spilled handle is materialized before truncation so the
+            # corruption hits the unpacked bytes, not the tiny ref
+            whole = blob_bytes(blobs[i])
+            blobs[i] = whole[: max(1, len(whole) // 2)]
             spec = replace(spec, member_blobs=tuple(blobs))
         return fn(spec)

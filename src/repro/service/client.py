@@ -230,6 +230,8 @@ class ServiceClient:
 
     def stats(self) -> dict:
         """Service counters and latency metrics as one JSON-able dict."""
+        from repro.io.spool import process_spool_totals
+
         started = time.perf_counter()
         snap = self.metrics.snapshot()
         hits = snap.get("service.cache.hits", {}).get("value", 0)
@@ -239,6 +241,11 @@ class ServiceClient:
             "cache_hit_rate": (hits / total) if total else 0.0,
             "store_memory_entries": self.store.memory_entries,
             "jobs_tracked": len(self.scheduler.jobs()),
+            # merge-stage memory pressure: out-of-core spool counters and
+            # the resident-blob gauge, process-wide across every job this
+            # daemon has run (spills stay 0 until a submission carries a
+            # merge_spill_budget_bytes that forces them)
+            "merge_spool": process_spool_totals(),
             "metrics": snap,
         }
         self._observe("stats", started)

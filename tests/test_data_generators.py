@@ -13,7 +13,9 @@ from repro.data.synthetic import (
     expected_extrema,
     gaussian_bumps_field,
     sinusoidal_field,
+    write_volume_chunked,
 )
+from repro.io.volume import write_volume
 
 
 class TestSinusoidal:
@@ -137,3 +139,73 @@ class TestProxies:
         counts = msc.node_counts_by_index()
         # bubbles appear as minima pockets, spikes as maxima pockets
         assert counts[0] >= 3 and counts[3] >= 3
+
+
+class TestChunkedWriter:
+    """write_volume_chunked streams the same bytes the in-memory
+    families produce, slab boundaries never showing in the file."""
+
+    def test_sinusoid_bit_identical_noncubic(self, tmp_path):
+        dims = (17, 11, 23)
+        whole = sinusoidal_field(0, 3, dims=dims)
+        write_volume(tmp_path / "whole.raw", whole, dtype="float32")
+        spec = write_volume_chunked(
+            tmp_path / "chunk.raw", "sinusoid", dims=dims,
+            features_per_side=3, slab_depth=5,
+        )
+        assert spec.dims == dims
+        assert (tmp_path / "chunk.raw").read_bytes() == \
+            (tmp_path / "whole.raw").read_bytes()
+
+    def test_bumps_bit_identical(self, tmp_path):
+        dims = (13, 9, 21)
+        whole = gaussian_bumps_field(dims, 7, seed=3)
+        write_volume(tmp_path / "whole.raw", whole, dtype="float32")
+        write_volume_chunked(
+            tmp_path / "chunk.raw", "bumps", dims=dims, num_bumps=7,
+            seed=3, slab_depth=4,
+        )
+        assert (tmp_path / "chunk.raw").read_bytes() == \
+            (tmp_path / "whole.raw").read_bytes()
+
+    def test_points_per_side_cube_float64(self, tmp_path):
+        whole = sinusoidal_field(12, 2, dtype=np.float64)
+        write_volume(tmp_path / "whole.raw", whole, dtype="float64")
+        spec = write_volume_chunked(
+            tmp_path / "chunk.raw", "sinusoid", points_per_side=12,
+            features_per_side=2, dtype="float64", slab_depth=7,
+        )
+        assert spec.dims == (12, 12, 12)
+        assert (tmp_path / "chunk.raw").read_bytes() == \
+            (tmp_path / "whole.raw").read_bytes()
+
+    def test_slab_depth_does_not_change_bytes(self, tmp_path):
+        for depth in (1, 3, 64):
+            write_volume_chunked(
+                tmp_path / f"d{depth}.raw", "sinusoid", dims=(8, 8, 10),
+                slab_depth=depth,
+            )
+        ref = (tmp_path / "d1.raw").read_bytes()
+        assert (tmp_path / "d3.raw").read_bytes() == ref
+        assert (tmp_path / "d64.raw").read_bytes() == ref
+
+    def test_exactly_one_size_argument(self, tmp_path):
+        with pytest.raises(ValueError, match="exactly one"):
+            write_volume_chunked(tmp_path / "x.raw", "sinusoid")
+        with pytest.raises(ValueError, match="exactly one"):
+            write_volume_chunked(
+                tmp_path / "x.raw", "sinusoid", dims=(8, 8, 8),
+                points_per_side=8,
+            )
+
+    def test_bumps_noise_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="noise"):
+            write_volume_chunked(
+                tmp_path / "x.raw", "bumps", dims=(8, 8, 8), noise=0.1
+            )
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown field kind"):
+            write_volume_chunked(
+                tmp_path / "x.raw", "jet", dims=(8, 8, 8)
+            )

@@ -1,5 +1,7 @@
 """Tests for repro.io.volume: raw volumes and subarray block reads."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -10,6 +12,7 @@ from repro.io.volume import (
     read_block,
     read_volume,
     write_volume,
+    write_volume_slabs,
 )
 from repro.mesh.grid import Box
 from repro.parallel.decomposition import decompose
@@ -139,3 +142,87 @@ class TestMapCache:
         invalidate_map_cache()
         with pytest.raises(ValueError, match="expected 80 samples"):
             read_block(bad, Box((0, 0, 0), (4, 4, 4)))
+
+    def test_same_size_rewrite_within_mtime_granularity(
+        self, tmp_path, rng
+    ):
+        """A same-size in-place rewrite can leave the stat key
+        (inode, size, mtime) unchanged — coarse filesystem timestamps
+        hide a fast rewrite — so the writer must drop the cache itself
+        rather than trust stat-based remapping."""
+        vals = rng.random((6, 5, 4)).astype(np.float32).astype(np.float64)
+        spec = write_volume(tmp_path / "c.raw", vals, dtype="float32")
+        box = Box((0, 0, 0), (6, 5, 4))
+        np.testing.assert_array_equal(read_block(spec, box), vals)
+        st = os.stat(spec.path)
+        new_vals = (vals + 1.0).astype(np.float32).astype(np.float64)
+        write_volume(tmp_path / "c.raw", new_vals, dtype="float32")
+        # force the stat-key collision the mtime granularity can cause:
+        # same inode, same size, and now bit-identical timestamps
+        os.utime(spec.path, ns=(st.st_atime_ns, st.st_mtime_ns))
+        assert volmod._map_key(spec, os.stat(spec.path)) == \
+            volmod._map_key(spec, st)
+        np.testing.assert_array_equal(read_block(spec, box), new_vals)
+
+    def test_same_size_slab_rewrite_within_mtime_granularity(
+        self, tmp_path, rng
+    ):
+        """Same stat-key collision, rewriting via the chunked writer."""
+        vals = rng.random((6, 5, 4)).astype(np.float32).astype(np.float64)
+        spec = write_volume(tmp_path / "cs.raw", vals, dtype="float32")
+        np.testing.assert_array_equal(read_volume(spec), vals)
+        box = Box((0, 0, 0), (6, 5, 4))
+        read_block(spec, box)  # populate the map cache
+        st = os.stat(spec.path)
+        new_vals = (vals * 2.0).astype(np.float32).astype(np.float64)
+        write_volume_slabs(
+            tmp_path / "cs.raw", (6, 5, 4),
+            (new_vals[:, :, z : z + 2] for z in range(0, 4, 2)),
+            dtype="float32",
+        )
+        os.utime(spec.path, ns=(st.st_atime_ns, st.st_mtime_ns))
+        np.testing.assert_array_equal(read_block(spec, box), new_vals)
+
+
+class TestSlabWriter:
+    def test_bytes_identical_to_whole_volume_write(self, tmp_path, rng):
+        vals = rng.random((7, 6, 9))
+        whole = write_volume(tmp_path / "w.raw", vals, dtype="float32")
+        slabbed = write_volume_slabs(
+            tmp_path / "s.raw", (7, 6, 9),
+            (vals[:, :, z : z + 4] for z in range(0, 9, 4)),
+            dtype="float32",
+        )
+        assert (tmp_path / "s.raw").read_bytes() == \
+            (tmp_path / "w.raw").read_bytes()
+        assert slabbed.dims == whole.dims
+        np.testing.assert_array_equal(
+            read_volume(slabbed), read_volume(whole)
+        )
+
+    def test_wrong_slab_cross_section_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="does not tile"):
+            write_volume_slabs(
+                tmp_path / "bad.raw", (4, 4, 4),
+                iter([np.zeros((4, 3, 4))]),
+            )
+
+    def test_overflowing_slabs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="overflow"):
+            write_volume_slabs(
+                tmp_path / "bad.raw", (4, 4, 4),
+                iter([np.zeros((4, 4, 3)), np.zeros((4, 4, 3))]),
+            )
+
+    def test_underfilling_slabs_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="underfill"):
+            write_volume_slabs(
+                tmp_path / "bad.raw", (4, 4, 4),
+                iter([np.zeros((4, 4, 3))]),
+            )
+
+    def test_unsupported_dtype_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unsupported"):
+            write_volume_slabs(
+                tmp_path / "bad.raw", (4, 4, 4), iter([]), dtype="int16"
+            )
